@@ -1,0 +1,76 @@
+"""Ablation — the Eq. (4) cost model of the two combination orders.
+
+DESIGN.md E13: measure the number of combinations actually performed per
+basic window and check them against the paper's cost model:
+
+* Sequential: ``⌈λL/w⌉`` combinations per window (every live suffix is
+  extended);
+* Geometric: ``O(log ⌈λL/w⌉)`` combinations per window (carry merges
+  plus suffix accumulations).
+
+Run with the Sketch representation so that ``sketch_combines`` is the
+C_comb counter of the model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.config import CombinationOrder, DetectorConfig, Representation
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runner import run_detector
+
+
+def test_eq4_combination_counts(benchmark, vs1_prepared):
+    def run():
+        outcome = {}
+        for order in CombinationOrder:
+            config = DetectorConfig(
+                num_hashes=200,
+                order=order,
+                representation=Representation.SKETCH,
+            )
+            result = run_detector(vs1_prepared, config)
+            per_window = (
+                result.stats.sketch_combines / result.stats.windows_processed
+            )
+            outcome[order] = (per_window, result.stats)
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    sequential_rate, sequential_stats = outcome[CombinationOrder.SEQUENTIAL]
+    geometric_rate, geometric_stats = outcome[CombinationOrder.GEOMETRIC]
+
+    # Model parameters: the candidate cap is the maximum over queries.
+    config = DetectorConfig(num_hashes=200)
+    window_frames = 10
+    max_query_frames = max(
+        frames for frames in vs1_prepared.query_frames.values()
+    )
+    cap = math.ceil(config.tempo_scale * max_query_frames / window_frames)
+
+    print()
+    print(
+        format_table(
+            ["order", "combines/window", "model"],
+            [
+                ["sequential", f"{sequential_rate:.2f}", f"≈ {cap} (⌈λL/w⌉)"],
+                [
+                    "geometric",
+                    f"{geometric_rate:.2f}",
+                    f"≈ O(log {cap}) = {math.log2(cap):.1f}",
+                ],
+            ],
+            title="Eq. (4) ablation: measured combinations per basic window",
+        )
+    )
+
+    # Sequential: one combine per live suffix; the steady state has
+    # cap-many suffixes (minus boundary effects).
+    assert cap - 2 <= sequential_rate <= cap
+    # Geometric: carry merges amortise to <= 2/window and suffix merges
+    # to the ladder depth; both are O(log cap).
+    assert geometric_rate <= 2 * (math.log2(cap) + 2)
+    assert geometric_rate < sequential_rate / 2

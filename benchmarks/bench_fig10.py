@@ -1,0 +1,75 @@
+"""Figure 10 — memory: average resident bit signatures.
+
+Paper protocol (Section VI-D): BitIndex with Sequential order on VS2.
+(a) sweep the similarity threshold δ from 0.5 to 0.9 — higher δ prunes
+    more aggressively (Lemma 2's bound K(1−δ) shrinks), so fewer
+    signatures stay resident;
+(b) sweep the basic window size w from 5 s to 20 s — larger windows hold
+    more distinct frames, window/query relations resolve faster, and the
+    candidate list shortens (⌈λL/w⌉ drops).
+
+The paper reports n ≈ 150 signatures at δ = 0.7 with 100 queries
+(≈ 30 KB); our scaled m is smaller, so absolute counts are smaller, but
+both monotone trends must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DetectorConfig
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.runner import run_detector
+
+DELTA_SWEEP = (0.5, 0.6, 0.7, 0.8, 0.9)
+WINDOW_SWEEP = (5.0, 10.0, 15.0, 20.0)
+
+
+def test_fig10a_signatures_vs_delta(benchmark, vs2_prepared):
+    def sweep():
+        counts = []
+        for delta in DELTA_SWEEP:
+            result = run_detector(
+                vs2_prepared, DetectorConfig(num_hashes=400, threshold=delta)
+            )
+            counts.append(result.stats.avg_signatures)
+        return counts
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["δ"] + [str(d) for d in DELTA_SWEEP],
+            [["avg signatures"] + [f"{c:.1f}" for c in counts]],
+            title="Figure 10(a): resident bit signatures vs δ (VS2, BitIndex-Seq)",
+        )
+    )
+    print(format_series("avg_signatures", DELTA_SWEEP, counts))
+    assert counts[-1] < counts[0], "higher δ must prune to fewer signatures"
+    # Memory in bytes at 2K bits per signature, for the record.
+    bytes_at_default = counts[2] * 2 * 400 / 8
+    print(f"memory at δ=0.7: {bytes_at_default:.0f} bytes")
+
+
+def test_fig10b_signatures_vs_window(benchmark, vs2_prepared):
+    def sweep():
+        counts = []
+        for window_seconds in WINDOW_SWEEP:
+            result = run_detector(
+                vs2_prepared,
+                DetectorConfig(num_hashes=400, window_seconds=window_seconds),
+            )
+            counts.append(result.stats.avg_signatures)
+        return counts
+
+    counts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["w (s)"] + [f"{w:g}" for w in WINDOW_SWEEP],
+            [["avg signatures"] + [f"{c:.1f}" for c in counts]],
+            title="Figure 10(b): resident bit signatures vs w (VS2, BitIndex-Seq)",
+        )
+    )
+    print(format_series("avg_signatures", WINDOW_SWEEP, counts))
+    assert counts[-1] < counts[0], "larger windows must reduce resident signatures"

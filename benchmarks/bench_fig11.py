@@ -1,0 +1,52 @@
+"""Figure 11 — precision & recall vs basic window size w.
+
+Paper protocol (Section VI-D): VS2, BitIndex with Sequential order.
+Expected shape: both precision and recall decrease as w grows — longer
+windows blur candidate boundaries (more foreign frames dilute candidate
+sets) and coarsen the alignment grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DetectorConfig
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.runner import run_detector
+
+WINDOW_SWEEP = (5.0, 10.0, 15.0, 20.0)
+
+
+def test_fig11_quality_vs_window(benchmark, vs2_prepared):
+    def sweep():
+        precisions = []
+        recalls = []
+        for window_seconds in WINDOW_SWEEP:
+            result = run_detector(
+                vs2_prepared,
+                DetectorConfig(num_hashes=400, window_seconds=window_seconds),
+            )
+            precisions.append(result.quality.precision)
+            recalls.append(result.quality.recall)
+        return precisions, recalls
+
+    precisions, recalls = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["metric"] + [f"w={w:g}s" for w in WINDOW_SWEEP],
+            [
+                ["precision"] + [f"{p:.3f}" for p in precisions],
+                ["recall"] + [f"{r:.3f}" for r in recalls],
+            ],
+            title="Figure 11: precision/recall vs w (VS2, BitIndex-Seq)",
+        )
+    )
+    print(format_series("precision", WINDOW_SWEEP, precisions))
+    print(format_series("recall", WINDOW_SWEEP, recalls))
+
+    # Shape: quality does not improve as the window grows; the smallest
+    # window performs at least as well as the largest on both metrics.
+    assert recalls[0] >= recalls[-1]
+    assert precisions[0] >= precisions[-1] - 1e-9
+    assert recalls[0] >= 0.6, "small-w recall on VS2 should be substantial"

@@ -1,0 +1,112 @@
+"""Figure 12 — CPU time vs basic window size: Bit vs Seq vs Warp.
+
+Paper protocol (Section VI-E): VS2 stream; all methods share the same
+compressed-domain features; the Seq and Warp baselines slide a
+query-length window with a gap of one basic window; Warp is run at two
+band widths. Expected shape: Bit is the fastest at every window size;
+Warp is the slowest and grows with its band width r.
+
+Scaled analogue: the baselines' cost is linear in the number of
+monitored queries m while Bit's is nearly flat (Figure 9), so the
+comparison runs at monitor scale — m = 96 subscribed clips (6 of them
+actually inserted) over a 10-minute stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.seq import SeqMatcher
+from repro.baselines.warp import WarpMatcher
+from repro.config import DetectorConfig
+from repro.evaluation.baseline_runner import OrdinalWorkload, run_baseline
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.runner import PreparedWorkload, run_detector
+from repro.video.synth import ClipSynthesizer
+from repro.workloads.doctor import StreamDoctor
+from repro.workloads.library import ClipLibrary
+
+from benchmarks.conftest import BENCH_SEED
+
+WINDOW_SWEEP = (5.0, 10.0, 15.0, 20.0)
+WARP_BANDS = (2, 6)
+NUM_MONITORS = 192
+NUM_INSERTED = 3
+
+
+@pytest.fixture(scope="module")
+def fig12_workloads(bench_profile):
+    """A 192-monitor workload over a 5-minute VS2 stream."""
+    profile = bench_profile.replace(
+        num_queries=NUM_MONITORS, stream_seconds=300.0
+    )
+    library = ClipLibrary(
+        profile, ClipSynthesizer(seed=BENCH_SEED), seed=BENCH_SEED
+    )
+    stream = StreamDoctor(profile, seed=BENCH_SEED).build_vs2(
+        library.subset(NUM_INSERTED), noise_sigma=2.0
+    )
+    prepared = PreparedWorkload.prepare(stream, library)
+    ordinal = OrdinalWorkload.prepare(stream, library)
+    return prepared, ordinal
+
+
+def test_fig12_cpu_vs_window(benchmark, fig12_workloads, bench_profile):
+    prepared, ordinal = fig12_workloads
+    kf_rate = bench_profile.keyframes_per_second
+
+    def sweep():
+        results = {"Bit": [], "Seq": []}
+        for band in WARP_BANDS:
+            results[f"Warp(r={band})"] = []
+        for window_seconds in WINDOW_SWEEP:
+            window_frames = max(1, round(window_seconds * kf_rate))
+            bit = run_detector(
+                prepared,
+                DetectorConfig(num_hashes=400, window_seconds=window_seconds),
+            )
+            results["Bit"].append(bit.cpu_seconds)
+            seq = run_baseline(
+                ordinal,
+                SeqMatcher(distance_threshold=0.5, gap_frames=window_frames),
+                window_frames,
+            )
+            results["Seq"].append(seq.cpu_seconds)
+            for band in WARP_BANDS:
+                warp = run_baseline(
+                    ordinal,
+                    WarpMatcher(
+                        distance_threshold=0.5,
+                        band_width=band,
+                        gap_frames=window_frames,
+                    ),
+                    window_frames,
+                )
+                results[f"Warp(r={band})"].append(warp.cpu_seconds)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    rows = [[name] + [f"{t:.3f}" for t in times] for name, times in results.items()]
+    print(
+        format_table(
+            ["method"] + [f"w={w:g}s" for w in WINDOW_SWEEP],
+            rows,
+            title=f"Figure 12: CPU seconds vs w (VS2, m={NUM_MONITORS})",
+        )
+    )
+    for name, times in results.items():
+        print(format_series(name, WINDOW_SWEEP, times))
+
+    # Per-point comparisons only where the margin is an order of
+    # magnitude (Warp); Bit-vs-Seq and the band-width effect are
+    # asserted over the whole sweep to stay robust to timer noise.
+    for position in range(len(WINDOW_SWEEP)):
+        assert results["Bit"][position] < results["Warp(r=2)"][position]
+        assert results["Seq"][position] < results["Warp(r=2)"][position]
+    assert sum(results["Bit"]) < sum(results["Seq"]), (
+        "Bit must be cheapest overall"
+    )
+    assert sum(results["Warp(r=6)"]) > sum(results["Warp(r=2)"]), (
+        "Warp cost must grow with its band width"
+    )

@@ -1,0 +1,160 @@
+"""Figure 6 — CPU cost vs number of hash functions K.
+
+Paper protocol (Section VI-B): run Bit and Sketch representations under
+both combination orders on VS1, sweeping K. Expected shape: the Sketch
+method's cost grows steeply with K (every comparison and combination is
+an O(K) vector operation), the Bit method stays nearly flat
+(word-parallel bit operations); Geometric order is much cheaper than
+Sequential for the Sketch method.
+
+Measurement method. At this reproduction's scale the detector's absolute
+wall-clock sits at ~0.1-0.3 s, where scheduler noise swamps the
+representational term, so the figure is regenerated the way Eq. (4)
+expresses it: the engines' *deterministic primitive-operation counts*
+(instrumented per run) are priced with per-operation costs measured in
+tight micro-benchmarks at each K. Wall-clock is printed alongside for
+reference but not asserted on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import CombinationOrder, DetectorConfig, Representation
+from repro.evaluation.ascii_chart import render_chart
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.runner import run_detector
+from repro.minhash.family import MinHashFamily
+from repro.signature.bitsig import BitSignature
+
+#: The sweep reaches past the paper's 3000 because numpy's fixed per-call
+#: overhead flattens O(K) costs below K ≈ 1000; the asymptotic contrast
+#: the paper's C++ shows at K=3000 appears here at the top of this range.
+K_SWEEP = (100, 400, 1600, 6400)
+
+VARIANTS = [
+    ("Bit-Seq", Representation.BIT, CombinationOrder.SEQUENTIAL),
+    ("Bit-Geo", Representation.BIT, CombinationOrder.GEOMETRIC),
+    ("Sketch-Seq", Representation.SKETCH, CombinationOrder.SEQUENTIAL),
+    ("Sketch-Geo", Representation.SKETCH, CombinationOrder.GEOMETRIC),
+]
+
+
+def _measure(operation, repetitions=3000):
+    """Median-of-3 timing of ``repetitions`` calls (seconds per call)."""
+    samples = []
+    for _trial in range(3):
+        started = time.perf_counter()
+        for _ in range(repetitions):
+            operation()
+        samples.append((time.perf_counter() - started) / repetitions)
+    return sorted(samples)[1]
+
+
+def _per_op_costs(num_hashes, num_queries=12):
+    """Micro-benchmark the primitive costs at width K.
+
+    ``bit_encode`` is priced the way the engine performs it: one batched
+    (m, K) comparison + packbits per window, divided by m.
+    """
+    family = MinHashFamily(num_hashes=num_hashes, seed=1)
+    rng = np.random.default_rng(0)
+    sketch_a = family.sketch(rng.choice(10_000, size=40, replace=False))
+    sketch_b = family.sketch(rng.choice(10_000, size=40, replace=False))
+    sig_a = BitSignature.encode(sketch_a, sketch_b)
+    sig_b = BitSignature.encode(sketch_b, sketch_a)
+    matrix = np.stack(
+        [
+            family.sketch(rng.choice(10_000, size=40, replace=False)).values
+            for _ in range(num_queries)
+        ]
+    )
+    values = sketch_a.values
+
+    def batched_encode():
+        ge = np.packbits(values[np.newaxis, :] <= matrix, axis=1, bitorder="little")
+        lt = np.packbits(values[np.newaxis, :] < matrix, axis=1, bitorder="little")
+        for row in range(num_queries):
+            BitSignature._raw(
+                int.from_bytes(ge[row].tobytes(), "little"),
+                int.from_bytes(lt[row].tobytes(), "little"),
+                num_hashes,
+            )
+
+    return {
+        "sketch_compare": _measure(lambda: sketch_a.similarity(sketch_b)),
+        "sketch_combine": _measure(lambda: sketch_a.combine(sketch_b)),
+        "bit_or_score": _measure(lambda: sig_a.combine(sig_b).similarity),
+        "bit_encode": _measure(batched_encode, repetitions=500) / num_queries,
+    }
+
+
+def _model_cost(stats, costs):
+    """Price a run's instrumented op counts with the measured constants."""
+    return (
+        stats.sketch_comparisons * costs["sketch_compare"]
+        + stats.sketch_combines * costs["sketch_combine"]
+        + (stats.signature_combines + stats.signature_prunes)
+        * costs["bit_or_score"]
+        + stats.signature_encodes * costs["bit_encode"]
+    )
+
+
+def test_fig6_cost_vs_k(benchmark, vs1_prepared):
+    def sweep():
+        modeled = {name: [] for name, _r, _o in VARIANTS}
+        wall = {name: [] for name, _r, _o in VARIANTS}
+        for num_hashes in K_SWEEP:
+            costs = _per_op_costs(num_hashes)
+            for name, representation, order in VARIANTS:
+                config = DetectorConfig(
+                    num_hashes=num_hashes,
+                    representation=representation,
+                    order=order,
+                    use_index=False,
+                )
+                result = run_detector(vs1_prepared, config)
+                modeled[name].append(_model_cost(result.stats, costs))
+                wall[name].append(result.cpu_seconds)
+        return modeled, wall
+
+    modeled, wall = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    rows = [
+        [name] + [f"{t:.4f}" for t in series] for name, series in modeled.items()
+    ]
+    print(
+        format_table(
+            ["method"] + [f"K={k}" for k in K_SWEEP],
+            rows,
+            title="Figure 6: modeled query-processing seconds vs K "
+            "(Eq. (4) op counts x measured per-op cost; VS1, no index)",
+        )
+    )
+    print(render_chart(modeled, K_SWEEP, title="modeled cost vs K",
+                       y_label="sec"))
+    for name, series in modeled.items():
+        print(format_series(f"model {name}", K_SWEEP, series))
+    for name, series in wall.items():
+        print(format_series(f"wall  {name}", K_SWEEP, series))
+
+    # Shape assertions on the deterministic model. The paper's C++
+    # prototype compares K raw values per sketch operation, so its Bit
+    # method wins by the word-parallel factor (~64x in op count); our
+    # Sketch comparisons are numpy (already word-parallel C), which
+    # compresses the magnitude. The *shape* survives: Bit sits below
+    # Sketch under the Sequential order and its K-growth is slower.
+    sketch_growth = modeled["Sketch-Seq"][-1] - modeled["Sketch-Seq"][0]
+    bit_growth = modeled["Bit-Seq"][-1] - modeled["Bit-Seq"][0]
+    assert sketch_growth > bit_growth, (
+        f"Sketch should grow faster: +{sketch_growth:.4f}s "
+        f"vs +{bit_growth:.4f}s"
+    )
+    # At the largest K, Bit beats Sketch under the Sequential order
+    # (where candidate maintenance dominates).
+    assert modeled["Bit-Seq"][-1] < modeled["Sketch-Seq"][-1]
+    # Geometric is far cheaper than Sequential for the Sketch method.
+    assert modeled["Sketch-Geo"][-1] < modeled["Sketch-Seq"][-1] / 2

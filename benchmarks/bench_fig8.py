@@ -1,0 +1,48 @@
+"""Figure 8 — recall vs K for δ ∈ {0.5, 0.7, 0.9} (Bit, both orders).
+
+Paper protocol (Section VI-B): as Figure 7, measuring recall. Expected
+shape: recall holds steady or decreases as K grows (small K lets noisy
+estimates clear the threshold; large K tightens the estimate), and at
+high δ the Geometric order recalls no more than the Sequential order
+(skipped alignments cost it matches).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CombinationOrder
+from repro.evaluation.reporting import format_series, format_table
+
+from benchmarks.bench_fig7 import DELTAS, K_SWEEP, sweep_quality
+
+
+def test_fig8_recall_vs_k(benchmark, vs1_prepared):
+    results = benchmark.pedantic(
+        sweep_quality, args=(vs1_prepared, "recall"), rounds=1, iterations=1
+    )
+    print()
+    rows = [
+        [f"δ={delta} {order.value[:3]}"] + [f"{v:.3f}" for v in series]
+        for (delta, order), series in results.items()
+    ]
+    print(
+        format_table(
+            ["series"] + [f"K={k}" for k in K_SWEEP],
+            rows,
+            title="Figure 8: recall vs K (VS1, Bit)",
+        )
+    )
+    for (delta, order), series in results.items():
+        print(format_series(f"recall d={delta} {order.value}", K_SWEEP, series))
+
+    for delta in DELTAS:
+        sequential = results[(delta, CombinationOrder.SEQUENTIAL)]
+        geometric = results[(delta, CombinationOrder.GEOMETRIC)]
+        # Recall does not *increase* appreciably with K.
+        assert sequential[-1] <= sequential[0] + 0.10, (delta, sequential)
+        # Geometric recall never exceeds Sequential recall at the same δ.
+        for seq_value, geo_value in zip(sequential, geometric):
+            assert geo_value <= seq_value + 1e-9, (delta, sequential, geometric)
+    # Sequential VS1 recall stays perfect at saturated K.
+    assert results[(0.7, CombinationOrder.SEQUENTIAL)][-1] == 1.0

@@ -1,0 +1,111 @@
+"""Table II — precision/recall of the exact membership test over (u, d).
+
+Paper protocol (Section VI-A): the 200 original clips A and their edited
+versions B are compared clip-to-clip with the exact set-similarity
+membership test (no min-hash); for each (u, d) the retrieval precision
+and recall are reported. Expected shape: small (u, d) gives high recall /
+low precision, large (u, d) the reverse, with a usable sweet spot around
+the paper's chosen (u=4, d=5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.membership import MembershipMatcher
+from repro.config import FingerprintConfig
+from repro.evaluation.reporting import format_table
+from repro.features.pipeline import FingerprintExtractor
+from repro.video.edits import EditPipeline
+from repro.video.formats import NTSC, PAL, VideoFormat
+from repro.video.reorder import reorder_segments
+
+from benchmarks.conftest import BENCH_SEED
+
+U_RANGE = (2, 3, 4, 5, 6, 7)
+D_RANGE = (3, 4, 5, 6, 7)
+#: Retrieval threshold, calibrated so that coarse partitions produce the
+#: paper's false-positive collisions at this library size (40 clips vs
+#: the paper's 200; fewer clips means fewer collision opportunities, so
+#: the threshold sits lower than the streaming δ).
+RETRIEVAL_THRESHOLD = 0.35
+
+
+def _edited_collection(library, kf_rate):
+    """B: the attacked + reordered versions of every library clip."""
+    pipeline = EditPipeline(
+        target_format=VideoFormat(
+            name="PAL-kf",
+            width=PAL.width,
+            height=PAL.height,
+            fps=kf_rate * PAL.fps / NTSC.fps,
+        ),
+        noise_sigma=4.0,
+        seed=BENCH_SEED,
+    )
+    edited = {}
+    for qid, clip in library:
+        attacked = pipeline.apply(clip)
+        attacked, _perm = reorder_segments(attacked, 5, seed=BENCH_SEED + qid)
+        edited[qid] = attacked
+    return edited
+
+
+@pytest.fixture(scope="module")
+def table2_library():
+    """A larger clip population than the stream benches use — Table II is
+    a clip-to-clip retrieval study, so no stream needs to be built and 40
+    clips stay cheap."""
+    from repro.config import ScaleProfile
+    from repro.video.synth import ClipSynthesizer
+    from repro.workloads.library import ClipLibrary
+
+    profile = ScaleProfile(
+        stream_seconds=1.0,
+        num_queries=40,
+        query_min_seconds=15.0,
+        query_max_seconds=30.0,
+    )
+    return ClipLibrary(profile, ClipSynthesizer(seed=BENCH_SEED), seed=BENCH_SEED)
+
+
+def test_table2_partition_grid(benchmark, table2_library, bench_profile):
+    bench_library = table2_library
+    edited = _edited_collection(bench_library, bench_profile.keyframes_per_second)
+    matcher = MembershipMatcher(threshold=RETRIEVAL_THRESHOLD)
+
+    def sweep():
+        rows = []
+        for d in D_RANGE:
+            row = [d]
+            for u in U_RANGE:
+                extractor = FingerprintExtractor(config=FingerprintConfig(d=d, u=u))
+                queries = {
+                    qid: extractor.cell_ids_from_clip(clip)
+                    for qid, clip in bench_library
+                }
+                collection = {
+                    qid: extractor.cell_ids_from_clip(clip)
+                    for qid, clip in edited.items()
+                }
+                precision, recall = matcher.retrieval_quality(queries, collection)
+                row.append(f"{precision:.2f}/{recall:.2f}")
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    headers = ["d \\ u"] + [f"u={u} (p/r)" for u in U_RANGE]
+    print()
+    print(format_table(headers, rows, title="Table II: precision/recall per (u, d)"))
+
+    table = {
+        (d_row[0], u): tuple(float(x) for x in d_row[i + 1].split("/"))
+        for d_row in rows
+        for i, u in enumerate(U_RANGE)
+    }
+    # Shape assertions from the paper: recall falls and precision rises
+    # as the partition gets finer along both axes.
+    assert table[(3, 2)][1] >= table[(7, 7)][1], "recall must fall with finer cells"
+    assert table[(7, 7)][0] >= table[(3, 2)][0], "precision must rise with finer cells"
+    p_default, r_default = table[(5, 4)]
+    assert p_default >= 0.9 and r_default >= 0.7, "sweet spot around (u=4, d=5)"

@@ -1,0 +1,78 @@
+"""Shared workloads for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on a
+scaled-down workload (see ``ScaleProfile`` in DESIGN.md §5). The streams
+and their extracted cell-id / ordinal signatures are built once per
+session here and shared across benchmark modules.
+
+The scaled bench profile: a 25-minute stream (3000 key frames at 2 kf/s)
+carrying 12 inserted clips of 25-60 s, versus the paper's 12-hour stream
+with 200 clips of 30-300 s. Ratios the algorithms are sensitive to
+(λ = 2, w = 5 s default, δ grid, query-length/window ratio) match the
+paper's orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ScaleProfile
+from repro.evaluation.baseline_runner import OrdinalWorkload
+from repro.evaluation.runner import PreparedWorkload
+from repro.video.synth import ClipSynthesizer
+from repro.workloads.doctor import StreamDoctor
+from repro.workloads.library import ClipLibrary
+
+BENCH_SEED = 20080407  # ICDE 2008 in Cancún
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> ScaleProfile:
+    """The session's scaled stand-in for the paper's Table I workload."""
+    return ScaleProfile(
+        keyframes_per_second=2.0,
+        stream_seconds=1500.0,
+        num_queries=12,
+        query_min_seconds=25.0,
+        query_max_seconds=60.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_library(bench_profile) -> ClipLibrary:
+    """The 12-clip query library."""
+    return ClipLibrary(
+        bench_profile, ClipSynthesizer(seed=BENCH_SEED), seed=BENCH_SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def vs1(bench_profile, bench_library):
+    """VS1: originals spliced into base footage."""
+    return StreamDoctor(bench_profile, seed=BENCH_SEED).build_vs1(bench_library)
+
+
+@pytest.fixture(scope="session")
+def vs2(bench_profile, bench_library):
+    """VS2: attacked + reordered copies spliced into base footage."""
+    return StreamDoctor(bench_profile, seed=BENCH_SEED).build_vs2(
+        bench_library, noise_sigma=2.0
+    )
+
+
+@pytest.fixture(scope="session")
+def vs1_prepared(vs1, bench_library) -> PreparedWorkload:
+    """Cell-id streams of VS1 (default d=5, u=4 fingerprints)."""
+    return PreparedWorkload.prepare(vs1, bench_library)
+
+
+@pytest.fixture(scope="session")
+def vs2_prepared(vs2, bench_library) -> PreparedWorkload:
+    """Cell-id streams of VS2 (default d=5, u=4 fingerprints)."""
+    return PreparedWorkload.prepare(vs2, bench_library)
+
+
+@pytest.fixture(scope="session")
+def vs2_ordinal(vs2, bench_library) -> OrdinalWorkload:
+    """Ordinal rank signatures of VS2 for the Seq/Warp baselines."""
+    return OrdinalWorkload.prepare(vs2, bench_library)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""The compressed-domain pipeline, end to end through the toy codec.
+
+Section III-A: "We partially decode incoming video bit streams to
+Discrete Cosine (DC) sequence and extract the DC coefficients of key
+(or I) frames." This example makes every stage of that sentence
+concrete:
+
+1. synthesise a clip and *encode* it into a real byte-level bitstream
+   (8x8 DCT, JPEG-style quantisation, zig-zag scans, varint packing);
+2. *partially decode* the bitstream — only the DC coefficient of every
+   block of every I frame is read; AC coefficients are skipped and no
+   inverse DCT runs;
+3. fingerprint the DC grids (3x3 block averages → Eq. (1) normalisation
+   → grid-pyramid cell ids);
+4. subscribe the fingerprints as a query and detect a *re-compressed*
+   copy of the clip (same content, different quality and GOP settings)
+   inside a stream.
+
+Run:  python examples/compressed_domain_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ClipSynthesizer,
+    DetectorConfig,
+    FingerprintExtractor,
+    MinHashFamily,
+    QuerySet,
+    StreamingDetector,
+)
+from repro.baselines.membership import jaccard_similarity
+from repro.codec.gop import decode_dc_coefficients, encode_video
+
+KF_RATE = 2.0
+
+
+def main() -> None:
+    synth = ClipSynthesizer(seed=23)
+    clip = synth.generate_clip(20.0, label="master", fps=KF_RATE)
+
+    # --- stage 1: encode ------------------------------------------------
+    master = encode_video(clip.frames, fps=clip.fps, quality=90, gop_size=4)
+    print(f"Master encode : quality=90, GOP=4 -> {master.size_bytes} bytes, "
+          f"{master.num_frames} frames, {master.num_keyframes} I frames")
+
+    pirate = encode_video(clip.frames, fps=clip.fps, quality=45, gop_size=4)
+    print(f"Pirate encode : quality=45, GOP=4 -> {pirate.size_bytes} bytes "
+          f"({100 * pirate.size_bytes / master.size_bytes:.0f}% of master)")
+
+    # --- stage 2: partial decode -----------------------------------------
+    frame_index, dc_grid = next(iter(decode_dc_coefficients(master)))
+    print(f"\nPartial decode of I frame {frame_index}: DC grid "
+          f"{dc_grid.shape[0]}x{dc_grid.shape[1]} blocks, e.g. block (0,0) "
+          f"mean luminance ≈ {dc_grid[0, 0] / master.block_size + 128:.1f} "
+          f"(true: {clip.frames[frame_index][:8, :8].mean():.1f})")
+
+    # --- stage 3: fingerprint --------------------------------------------
+    extractor = FingerprintExtractor()
+    master_ids = extractor.cell_ids_from_encoded(master)
+    pirate_ids = extractor.cell_ids_from_encoded(pirate)
+    print(f"\nFingerprints: {len(np.unique(master_ids))} distinct cell ids "
+          f"(master) vs {len(np.unique(pirate_ids))} (pirate); "
+          f"Jaccard = {jaccard_similarity(master_ids, pirate_ids):.2f}")
+
+    # --- stage 4: detect the re-compressed copy in a stream ---------------
+    family = MinHashFamily(num_hashes=400, seed=0)
+    queries = QuerySet.from_cell_ids(
+        {0: master_ids}, {0: master.num_keyframes}, family
+    )
+    detector = StreamingDetector(
+        DetectorConfig(num_hashes=400, threshold=0.7), queries, KF_RATE
+    )
+
+    rng = np.random.default_rng(0)
+    filler = rng.integers(100_000, 900_000, size=120)
+    stream = np.concatenate([filler, pirate_ids, filler])
+    matches = detector.process_cell_ids(stream)
+
+    if matches:
+        best = max(matches, key=lambda m: m.similarity)
+        print(f"\nDetected the re-compressed copy: key frames "
+              f"[{best.start_frame}, {best.end_frame}) at similarity "
+              f"{best.similarity:.2f} "
+              f"(true span [{len(filler)}, {len(filler) + len(pirate_ids)}))")
+    else:
+        print("\nCopy missed — not expected at these settings")
+
+
+if __name__ == "__main__":
+    main()

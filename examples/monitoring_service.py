@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""A realistic monitoring-service loop: persistence + live chunks.
+
+Models how the paper's system would actually be deployed as a service:
+
+1. **Provisioning** — query clips are fingerprinted and sketched once,
+   and the subscription is persisted to disk (`save_query_set`).
+2. **Service start** — a fresh process reloads the subscription
+   (`load_query_set`), builds the detector and wraps it in a
+   `LiveMonitor`.
+3. **Ingest loop** — encoded bitstream chunks of varying size arrive
+   (here: a VS2-style broadcast cut into irregular pieces); matches
+   surface as the chunks are pushed, and a rolling report is kept.
+4. **Shift change** — one query is unsubscribed and a new one
+   subscribed mid-stream, exercising online index maintenance.
+
+Run:  python examples/monitoring_service.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    ClipSynthesizer,
+    DetectorConfig,
+    FingerprintExtractor,
+    LiveMonitor,
+    MinHashFamily,
+    Query,
+    QuerySet,
+    StreamingDetector,
+    load_query_set,
+    merge_matches,
+    save_query_set,
+)
+from repro.codec.gop import encode_video
+from repro.video.clip import concat_clips
+
+KF_RATE = 2.0
+
+
+def provision(path: Path) -> dict:
+    """Fingerprint three query clips and persist the subscription.
+
+    Assets arrive as encoded files, so fingerprints are taken through
+    the codec's partial decoder — the same path the live stream uses.
+    """
+    synth = ClipSynthesizer(seed=101)
+    extractor = FingerprintExtractor()
+    family = MinHashFamily(num_hashes=400, seed=0)
+    clips = {
+        qid: synth.generate_clip(25.0 + 5 * qid, label=f"asset-{qid}", fps=KF_RATE)
+        for qid in range(3)
+    }
+    cell_ids = {}
+    for qid, clip in clips.items():
+        master = encode_video(clip.frames, fps=clip.fps, quality=90, gop_size=1)
+        cell_ids[qid] = extractor.cell_ids_from_encoded(master)
+    queries = QuerySet.from_cell_ids(
+        cell_ids,
+        {qid: clip.num_frames for qid, clip in clips.items()},
+        family,
+        labels={qid: clip.label for qid, clip in clips.items()},
+    )
+    save_query_set(queries, path)
+    print(f"[provision] persisted {len(queries)} queries to {path.name}")
+    return clips
+
+
+def build_broadcast(clips: dict) -> tuple:
+    """A broadcast carrying copies of assets 0 and 2 (asset 1 never airs)."""
+    synth = ClipSynthesizer(seed=202)
+    pieces = [
+        synth.generate_clip(60.0, label="prog-a", fps=KF_RATE),
+        clips[0],
+        synth.generate_clip(90.0, label="prog-b", fps=KF_RATE),
+        clips[2],
+        synth.generate_clip(60.0, label="prog-c", fps=KF_RATE),
+    ]
+    broadcast = concat_clips(pieces, label="broadcast")
+    print(f"[broadcast] {broadcast.duration:.0f}s assembled "
+          f"({broadcast.num_frames} key frames)")
+    return broadcast
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        subscription_path = Path(tmp) / "subscription.npz"
+        clips = provision(subscription_path)
+        broadcast = build_broadcast(clips)
+
+        # --- service start: a "fresh process" reloads everything -------
+        queries = load_query_set(subscription_path)
+        print(f"[service] reloaded {len(queries)} queries "
+              f"(K={queries.family.num_hashes})")
+        extractor = FingerprintExtractor()
+        detector = StreamingDetector(
+            DetectorConfig(num_hashes=400, threshold=0.6), queries, KF_RATE
+        )
+        monitor = LiveMonitor(detector, extractor)
+
+        # --- ingest loop: irregular encoded chunks ---------------------
+        matches = []
+        alerted = set()
+        rng = np.random.default_rng(7)
+        cursor = 0
+        chunk_index = 0
+        while cursor < broadcast.num_frames:
+            size = int(rng.integers(40, 120))
+            chunk_frames = broadcast.frames[cursor : cursor + size]
+            cursor += size
+            chunk_index += 1
+            encoded = encode_video(
+                chunk_frames, fps=KF_RATE, quality=80, gop_size=1
+            )
+            new_matches = monitor.push_encoded(encoded)
+            for match in new_matches:
+                alert_key = (match.qid, match.position_frame)
+                if alert_key not in alerted:
+                    alerted.add(alert_key)
+                    print(f"[ingest] chunk {chunk_index}: query {match.qid} "
+                          f"sim {match.similarity:.2f} at key frame "
+                          f"{match.position_frame}")
+            matches.extend(new_matches)
+
+            if chunk_index == 3:
+                # Shift change: asset-1 never airs, drop it; subscribe a
+                # new asset mid-stream.
+                detector.unsubscribe(1)
+                synth = ClipSynthesizer(seed=303)
+                late_clip = synth.generate_clip(20.0, label="asset-9",
+                                                fps=KF_RATE)
+                ids = extractor.cell_ids_from_clip(late_clip)
+                detector.subscribe(Query(
+                    qid=9,
+                    cell_ids=np.unique(ids),
+                    num_frames=late_clip.num_frames,
+                    sketch=queries.family.sketch(np.unique(ids)),
+                    label="asset-9",
+                ))
+                print("[service] shift change: -asset-1, +asset-9")
+
+        matches.extend(monitor.flush())
+
+        # --- rolling report ---------------------------------------------
+        print("\n[report] detections:")
+        for detection in merge_matches(matches, gap_frames=10):
+            print(f"  query {detection.qid}: key frames "
+                  f"[{detection.start_frame}, {detection.end_frame})  "
+                  f"peak {detection.peak_similarity:.2f}")
+        detected = {d.qid for d in merge_matches(matches)}
+        assert 0 in detected and 2 in detected, "aired assets must be found"
+        assert 1 not in detected, "asset-1 never aired"
+        print("[report] OK — aired assets detected, silent asset clean")
+
+
+if __name__ == "__main__":
+    main()

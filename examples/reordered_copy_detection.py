@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Temporal-reordering robustness — the paper's core claim, side by side.
+
+A short video is attacked the way the paper's VS2 stream attacks its
+inserts (brightness/color alteration, noise, resolution change, NTSC→PAL
+re-timing) and its segments are then shuffled. The attacked copy is
+spliced into a stream, and three detectors look for it:
+
+* Bit   — the paper's method (set similarity over min-hash sketches);
+* Seq   — rigid sliding-window frame matching (Hampapur et al.);
+* Warp  — dynamic time warping with a Sakoe–Chiba band (Chiu et al.).
+
+Set similarity is invariant to the shuffle; rigid and monotone-warping
+alignment are not. This is Figures 13-15 in one script.
+
+Run:  python examples/reordered_copy_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ClipSynthesizer,
+    DetectorConfig,
+    FingerprintExtractor,
+    MinHashFamily,
+    QuerySet,
+    StreamingDetector,
+)
+from repro.baselines.seq import SeqMatcher, ordinal_signature
+from repro.baselines.warp import WarpMatcher
+from repro.features.dc_extract import block_means_from_frames
+from repro.video.clip import concat_clips
+from repro.video.edits import EditPipeline
+from repro.video.formats import NTSC, PAL, VideoFormat
+from repro.video.reorder import reorder_segments
+
+KF_RATE = 2.0
+
+
+def main() -> None:
+    synth = ClipSynthesizer(seed=11)
+    original = synth.generate_clip(40.0, label="the-video", fps=KF_RATE)
+
+    # --- the attack chain (the paper's VS2 recipe) --------------------
+    pipeline = EditPipeline(
+        target_format=VideoFormat(
+            "PAL-kf", PAL.width, PAL.height, KF_RATE * PAL.fps / NTSC.fps
+        ),
+        noise_sigma=2.0,
+        seed=3,
+    )
+    attacked = pipeline.apply(original)
+    attacked, permutation = reorder_segments(attacked, 8, seed=6)
+    print(f"Original: {original.num_frames} key frames; attacked copy: "
+          f"{attacked.num_frames} key frames (PAL re-timed), segments "
+          f"shuffled to order {permutation}")
+
+    # --- splice the attacked copy into programming --------------------
+    before = synth.generate_clip(120.0, label="before", fps=KF_RATE)
+    after = synth.generate_clip(120.0, label="after", fps=KF_RATE)
+
+    def conform(clip):
+        from repro.video.edits import change_resolution
+        from repro.video.clip import VideoClip
+
+        resized = change_resolution(clip, PAL.height, PAL.width)
+        return VideoClip(frames=resized.frames, fps=KF_RATE, label=clip.label)
+
+    stream = concat_clips(
+        [conform(before), conform(attacked), conform(after)], label="stream"
+    )
+    copy_begin = conform(before).num_frames
+    copy_end = copy_begin + attacked.num_frames
+    print(f"Stream: {stream.duration:.0f}s; copy occupies key frames "
+          f"[{copy_begin}, {copy_end})\n")
+
+    extractor = FingerprintExtractor()
+
+    # --- Bit: the paper's method ---------------------------------------
+    family = MinHashFamily(num_hashes=400, seed=0)
+    query_ids = extractor.cell_ids_from_clip(original)
+    queries = QuerySet.from_cell_ids(
+        {0: query_ids}, {0: original.num_frames}, family
+    )
+    detector = StreamingDetector(
+        DetectorConfig(num_hashes=400, threshold=0.6), queries, KF_RATE
+    )
+    matches = detector.process_cell_ids(extractor.cell_ids_from_clip(stream))
+    if matches:
+        best = max(matches, key=lambda m: m.similarity)
+        print(f"Bit : DETECTED  span [{best.start_frame}, {best.end_frame})"
+              f"  similarity {best.similarity:.2f}")
+    else:
+        print("Bit : missed")
+
+    # --- Seq / Warp baselines ------------------------------------------
+    query_ranks = ordinal_signature(block_means_from_frames(original.frames))
+    stream_ranks = ordinal_signature(block_means_from_frames(stream.frames))
+
+    seq_hits = SeqMatcher(distance_threshold=0.4, gap_frames=10).find_matches(
+        query_ranks, stream_ranks
+    )
+    in_copy = [h for h in seq_hits
+               if copy_begin - 20 <= h["start_frame"] <= copy_end]
+    print(f"Seq : {'DETECTED' if in_copy else 'missed'}  "
+          f"({len(seq_hits)} raw hits, {len(in_copy)} near the copy; "
+          f"best aligned distance "
+          f"{min((h['distance'] for h in seq_hits), default=float('nan')):.2f})")
+
+    warp_hits = WarpMatcher(
+        distance_threshold=0.4, band_width=6, gap_frames=10
+    ).find_matches(query_ranks, stream_ranks)
+    in_copy = [h for h in warp_hits
+               if copy_begin - 20 <= h["start_frame"] <= copy_end]
+    print(f"Warp: {'DETECTED' if in_copy else 'missed'}  "
+          f"({len(warp_hits)} raw hits, {len(in_copy)} near the copy)")
+
+    print("\nWhy: the shuffle leaves the clip's *set* of frame signatures "
+          "unchanged, so the Jaccard similarity the Bit method estimates "
+          "is unaffected; rigid and monotone-warping alignments cannot "
+          "map transposed segments onto each other.")
+
+
+if __name__ == "__main__":
+    main()

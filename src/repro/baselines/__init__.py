@@ -1,0 +1,25 @@
+"""Comparison baselines re-implemented from their descriptions.
+
+* :mod:`repro.baselines.membership` — exact set-similarity membership
+  test, the non-sketched reference used by the paper's Table II
+  partition-granularity study.
+* :mod:`repro.baselines.seq` — Hampapur et al. [1]: a query-length window
+  slides over the stream, similarity is the average frame-pairwise
+  (ordinal) distance, rigidly aligned. Strongly temporal-order dependent.
+* :mod:`repro.baselines.warp` — Chiu et al. [6]: dynamic time warping
+  distance with a Sakoe–Chiba band of width ``r``; tolerates *local*
+  tempo variation but not shot reordering.
+"""
+
+from repro.baselines.membership import MembershipMatcher, jaccard_similarity
+from repro.baselines.seq import SeqMatcher, ordinal_signature
+from repro.baselines.warp import WarpMatcher, dtw_distance
+
+__all__ = [
+    "MembershipMatcher",
+    "SeqMatcher",
+    "WarpMatcher",
+    "dtw_distance",
+    "jaccard_similarity",
+    "ordinal_signature",
+]

@@ -1,0 +1,105 @@
+"""Exact set-similarity via membership testing.
+
+This is Definition 2 computed exactly (no sketch): the Jaccard similarity
+of the distinct cell-id sets of two sequences. The paper uses it for the
+Table II study of partition granularity ("using membership test method
+instead of min-hash"), where each original clip A[i] queries the edited
+collection B. It also serves as the ground-truth oracle that the min-hash
+estimator is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+__all__ = ["MembershipMatcher", "jaccard_similarity"]
+
+
+def jaccard_similarity(
+    left: Sequence[int] | np.ndarray, right: Sequence[int] | np.ndarray
+) -> float:
+    """Exact Jaccard similarity of two id collections (duplicates ignored).
+
+    Two empty collections are defined to have similarity 0.0 (an empty
+    video sequence is never a copy of anything).
+    """
+    left_set = set(int(x) for x in left)
+    right_set = set(int(x) for x in right)
+    union = len(left_set | right_set)
+    if union == 0:
+        return 0.0
+    return len(left_set & right_set) / union
+
+
+@dataclass(frozen=True)
+class MembershipMatcher:
+    """Clip-collection retrieval by exact set similarity.
+
+    Parameters
+    ----------
+    threshold:
+        δ — a target clip is retrieved when its exact Jaccard similarity
+        with the query reaches this value.
+    """
+
+    threshold: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise EvaluationError(
+                f"threshold must be in [0, 1], got {self.threshold}"
+            )
+
+    def retrieve(
+        self,
+        query_ids: Sequence[int] | np.ndarray,
+        collection: Mapping[int, np.ndarray],
+    ) -> List[Tuple[int, float]]:
+        """Return ``(clip_id, similarity)`` for every collection clip at or
+        above the threshold, best first."""
+        hits = [
+            (clip_id, jaccard_similarity(query_ids, ids))
+            for clip_id, ids in collection.items()
+        ]
+        qualified = [(cid, sim) for cid, sim in hits if sim >= self.threshold]
+        return sorted(qualified, key=lambda pair: (-pair[1], pair[0]))
+
+    def retrieval_quality(
+        self,
+        queries: Mapping[int, np.ndarray],
+        collection: Mapping[int, np.ndarray],
+    ) -> Tuple[float, float]:
+        """Precision and recall of querying ``queries`` against
+        ``collection`` where the correct answer for query ``i`` is the
+        collection clip with the same id (the paper's A[i] -> B[i] setup).
+
+        Returns
+        -------
+        (precision, recall)
+            Precision: fraction of retrieved clips that are the query's
+            own counterpart. Recall: fraction of queries whose
+            counterpart was retrieved. With zero retrievals precision is
+            defined as 1.0 (nothing wrong was returned).
+        """
+        if not queries:
+            raise EvaluationError("retrieval_quality needs at least one query")
+        retrieved_total = 0
+        retrieved_correct = 0
+        queries_answered = 0
+        for qid, query_ids in queries.items():
+            hits = self.retrieve(query_ids, collection)
+            retrieved_total += len(hits)
+            correct = any(cid == qid for cid, _sim in hits)
+            retrieved_correct += sum(1 for cid, _sim in hits if cid == qid)
+            if correct:
+                queries_answered += 1
+        precision = (
+            retrieved_correct / retrieved_total if retrieved_total else 1.0
+        )
+        recall = queries_answered / len(queries)
+        return precision, recall

@@ -1,0 +1,149 @@
+"""The Seq baseline — Hampapur, Hyun & Bolle [1].
+
+A rigid sliding-window sequence matcher: every frame gets an *ordinal
+intensity signature* (the rank order of its D block averages), the
+distance between two frames is the normalised L1 distance of their rank
+vectors, and the distance between a query and an equally long stream
+window is the average of the aligned frame distances. The query-length
+window slides over the stream with a gap of one basic window, exactly the
+evaluation protocol of Section VI-E ("a query length sized window is
+sliding through the video stream, the sliding gap ... is also known as
+basic window").
+
+The measure depends entirely on temporal alignment, which is why shot
+reordering destroys it (Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import EvaluationError
+
+__all__ = ["SeqMatcher", "frame_distance_matrix", "ordinal_signature"]
+
+
+def ordinal_signature(block_means: np.ndarray) -> np.ndarray:
+    """Rank vector of each frame's block averages.
+
+    Parameters
+    ----------
+    block_means:
+        ``(n, D)`` matrix of per-frame block averages.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, D)`` integer ranks: entry ``(t, i)`` is the rank (0 =
+        smallest) of block ``i`` within frame ``t``. Ranking is what makes
+        the signature invariant to monotone luminance changes.
+    """
+    if block_means.ndim != 2:
+        raise EvaluationError(
+            f"expected (n, D) block means, got shape {block_means.shape}"
+        )
+    order = np.argsort(block_means, axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    columns = np.arange(block_means.shape[1])
+    for row in range(block_means.shape[0]):
+        ranks[row, order[row]] = columns
+    return ranks
+
+
+def _max_rank_l1(dimension: int) -> float:
+    """Maximum possible L1 distance between two rank vectors of size D.
+
+    Reached by opposite orderings; equals ``floor(D^2 / 2)``. Used to
+    normalise frame distances into [0, 1].
+    """
+    return (dimension * dimension) // 2
+
+
+def frame_distance_matrix(
+    query_ranks: np.ndarray, stream_ranks: np.ndarray
+) -> np.ndarray:
+    """Pairwise normalised ordinal distances, shape ``(len(q), len(s))``."""
+    if query_ranks.shape[1] != stream_ranks.shape[1]:
+        raise EvaluationError("rank vectors must share dimensionality")
+    diff = np.abs(
+        query_ranks[:, np.newaxis, :].astype(np.int64)
+        - stream_ranks[np.newaxis, :, :].astype(np.int64)
+    ).sum(axis=2)
+    return diff / _max_rank_l1(query_ranks.shape[1])
+
+
+@dataclass(frozen=True)
+class SeqMatcher:
+    """Sliding-window rigid sequence matcher.
+
+    Parameters
+    ----------
+    distance_threshold:
+        A window is reported as a copy when its average aligned frame
+        distance is at or below this value.
+    gap_frames:
+        Sliding gap in key frames (the basic window of Section VI-E).
+    """
+
+    distance_threshold: float = 0.3
+    gap_frames: int = 10
+
+    def __post_init__(self) -> None:
+        if self.distance_threshold < 0:
+            raise EvaluationError(
+                f"distance_threshold must be non-negative, "
+                f"got {self.distance_threshold}"
+            )
+        if self.gap_frames <= 0:
+            raise EvaluationError(
+                f"gap_frames must be positive, got {self.gap_frames}"
+            )
+
+    def window_distance(
+        self, query_ranks: np.ndarray, window_ranks: np.ndarray
+    ) -> float:
+        """Average aligned frame distance between query and one window.
+
+        When lengths differ (re-timed copies), the shorter sequence is
+        compared against the aligned prefix of the longer one, as the
+        rigid matcher has no other recourse.
+        """
+        length = min(query_ranks.shape[0], window_ranks.shape[0])
+        if length == 0:
+            raise EvaluationError("cannot compare empty sequences")
+        diff = np.abs(
+            query_ranks[:length].astype(np.int64)
+            - window_ranks[:length].astype(np.int64)
+        ).sum(axis=1)
+        return float(diff.mean() / _max_rank_l1(query_ranks.shape[1]))
+
+    def find_matches(
+        self, query_ranks: np.ndarray, stream_ranks: np.ndarray
+    ) -> List[dict]:
+        """Slide the query over the stream; return sub-threshold windows.
+
+        Returns
+        -------
+        list of dict
+            Each with keys ``start_frame``, ``end_frame``, ``distance``.
+        """
+        query_length = query_ranks.shape[0]
+        stream_length = stream_ranks.shape[0]
+        matches: List[dict] = []
+        if stream_length < query_length:
+            return matches
+        for start in range(0, stream_length - query_length + 1, self.gap_frames):
+            window = stream_ranks[start : start + query_length]
+            distance = self.window_distance(query_ranks, window)
+            if distance <= self.distance_threshold:
+                matches.append(
+                    {
+                        "start_frame": start,
+                        "end_frame": start + query_length,
+                        "distance": distance,
+                    }
+                )
+        return matches

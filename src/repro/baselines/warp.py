@@ -1,0 +1,156 @@
+"""The Warp baseline — time-warping distance matching, Chiu et al. [6].
+
+Dynamic time warping with a Sakoe–Chiba band of width ``r`` aligns a
+query's frame-feature sequence against a stream window, tolerating *local*
+tempo differences (frame-rate changes, dropped frames). The per-step cost
+is the same normalised ordinal frame distance the Seq baseline uses; the
+path cost is normalised by the path length so thresholds are comparable
+across query lengths. As ``r`` grows the matcher tolerates more local
+variation but its cost grows as O(L·r) per alignment — the CPU trade-off
+Figure 12/15 report. Global shot *reordering* still defeats it: DTW paths
+are monotone, so transposed segments cannot be re-aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.baselines.seq import _max_rank_l1
+
+__all__ = ["WarpMatcher", "dtw_distance"]
+
+
+def dtw_distance(
+    query: np.ndarray, window: np.ndarray, band_width: int
+) -> float:
+    """Banded DTW distance between two rank-vector sequences.
+
+    Parameters
+    ----------
+    query, window:
+        ``(n, D)`` and ``(m, D)`` integer rank matrices.
+    band_width:
+        Sakoe–Chiba band radius ``r`` around the (scaled) diagonal; a
+        warping path may not deviate further than ``r`` cells from it.
+
+    Returns
+    -------
+    float
+        Accumulated normalised frame distance divided by the warping path
+        length, in [0, 1].
+    """
+    if band_width < 0:
+        raise EvaluationError(f"band_width must be non-negative, got {band_width}")
+    n, dim = query.shape
+    m = window.shape[0]
+    if m == 0 or n == 0:
+        raise EvaluationError("cannot warp empty sequences")
+    if window.shape[1] != dim:
+        raise EvaluationError("rank vectors must share dimensionality")
+    max_l1 = _max_rank_l1(dim)
+
+    # Effective band: widen by the length mismatch so the corner (n-1, m-1)
+    # is always reachable, then add the user radius.
+    band = max(band_width, abs(n - m)) + 1
+
+    infinity = np.inf
+    # cost[j] along the previous row; rolling 1-D DP.
+    previous = np.full(m + 1, infinity)
+    previous[0] = 0.0
+    query64 = query.astype(np.int64)
+    window64 = window.astype(np.int64)
+    for i in range(1, n + 1):
+        center = round(i * m / n)
+        lo = max(1, center - band)
+        hi = min(m, center + band)
+        current = np.full(m + 1, infinity)
+        row_costs = (
+            np.abs(window64[lo - 1 : hi] - query64[i - 1]).sum(axis=1) / max_l1
+        )
+        for j in range(lo, hi + 1):
+            step = min(previous[j], previous[j - 1], current[j - 1])
+            current[j] = row_costs[j - lo] + step
+        previous = current
+    total = previous[m]
+    if not np.isfinite(total):
+        raise EvaluationError(
+            "the warping band excluded every path; widen band_width"
+        )
+    # Normalise by the shortest possible path length (max(n, m) steps).
+    return float(total / max(n, m))
+
+
+@dataclass(frozen=True)
+class WarpMatcher:
+    """Sliding-window DTW matcher.
+
+    Parameters
+    ----------
+    distance_threshold:
+        A window is reported when its normalised DTW distance is at or
+        below this value.
+    band_width:
+        The Sakoe–Chiba radius ``r``.
+    gap_frames:
+        Sliding gap in key frames (the basic window).
+    window_scale:
+        Window length relative to the query length (≥ 1 admits re-timed
+        copies, mirroring the λ of the main method).
+    """
+
+    distance_threshold: float = 0.25
+    band_width: int = 5
+    gap_frames: int = 10
+    window_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.distance_threshold < 0:
+            raise EvaluationError(
+                f"distance_threshold must be non-negative, "
+                f"got {self.distance_threshold}"
+            )
+        if self.band_width < 0:
+            raise EvaluationError(
+                f"band_width must be non-negative, got {self.band_width}"
+            )
+        if self.gap_frames <= 0:
+            raise EvaluationError(
+                f"gap_frames must be positive, got {self.gap_frames}"
+            )
+        if self.window_scale < 1.0:
+            raise EvaluationError(
+                f"window_scale must be >= 1, got {self.window_scale}"
+            )
+
+    def find_matches(
+        self, query_ranks: np.ndarray, stream_ranks: np.ndarray
+    ) -> List[dict]:
+        """Slide a scaled window over the stream and DTW-score each one.
+
+        Returns
+        -------
+        list of dict
+            Each with keys ``start_frame``, ``end_frame``, ``distance``.
+        """
+        query_length = query_ranks.shape[0]
+        window_length = max(1, round(query_length * self.window_scale))
+        stream_length = stream_ranks.shape[0]
+        matches: List[dict] = []
+        if stream_length < window_length:
+            return matches
+        for start in range(0, stream_length - window_length + 1, self.gap_frames):
+            window = stream_ranks[start : start + window_length]
+            distance = dtw_distance(query_ranks, window, self.band_width)
+            if distance <= self.distance_threshold:
+                matches.append(
+                    {
+                        "start_frame": start,
+                        "end_frame": start + window_length,
+                        "distance": distance,
+                    }
+                )
+        return matches

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the workflow a user of the original system would
+need without writing Python:
+
+* ``demo``   — build a seeded synthetic workload (VS1 or VS2), run the
+  detector and print the detection report with precision/recall.
+* ``sweep``  — sweep one detector parameter (K, delta or w) over the
+  same workload and print the resulting series, the way the paper's
+  figures are produced.
+* ``inspect``— encode a synthetic clip through the toy codec and report
+  the bitstream structure plus partial-decode statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.codec.gop import decode_dc_coefficients, encode_video
+from repro.config import (
+    CombinationOrder,
+    DetectorConfig,
+    Representation,
+    ScaleProfile,
+)
+from repro.core.results import merge_matches
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.runner import PreparedWorkload, run_detector
+from repro.video.synth import ClipSynthesizer
+from repro.workloads.doctor import StreamDoctor
+from repro.workloads.library import ClipLibrary
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Continuous content-based copy detection over "
+        "streaming videos (ICDE 2008 reproduction).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="build a synthetic workload and run the detector"
+    )
+    demo.add_argument("--stream", choices=("vs1", "vs2"), default="vs2",
+                      help="original inserts (vs1) or attacked ones (vs2)")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--queries", type=int, default=6)
+    demo.add_argument("--stream-seconds", type=float, default=900.0)
+    demo.add_argument("--hashes", type=int, default=400, metavar="K")
+    demo.add_argument("--threshold", type=float, default=0.7, metavar="DELTA")
+    demo.add_argument("--window-seconds", type=float, default=5.0, metavar="W")
+    demo.add_argument("--order", choices=("sequential", "geometric"),
+                      default="sequential")
+    demo.add_argument("--representation", choices=("bit", "sketch"),
+                      default="bit")
+    demo.add_argument("--no-index", action="store_true")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="sweep one detector parameter over a workload"
+    )
+    sweep.add_argument("parameter", choices=("hashes", "threshold", "window"))
+    sweep.add_argument("values", nargs="+", type=float,
+                       help="parameter values to sweep")
+    sweep.add_argument("--stream", choices=("vs1", "vs2"), default="vs2")
+    sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument("--queries", type=int, default=6)
+    sweep.add_argument("--stream-seconds", type=float, default=900.0)
+
+    inspect = subparsers.add_parser(
+        "inspect", help="encode a synthetic clip and inspect the bitstream"
+    )
+    inspect.add_argument("--seconds", type=float, default=10.0)
+    inspect.add_argument("--quality", type=int, default=75)
+    inspect.add_argument("--gop", type=int, default=12)
+    inspect.add_argument("--motion", action="store_true",
+                         help="use motion-compensated prediction")
+    inspect.add_argument("--entropy", action="store_true",
+                         help="use exp-Golomb entropy coding")
+    inspect.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _build_workload(args: argparse.Namespace) -> PreparedWorkload:
+    profile = ScaleProfile(
+        stream_seconds=args.stream_seconds,
+        num_queries=args.queries,
+        query_min_seconds=20.0,
+        query_max_seconds=50.0,
+    )
+    library = ClipLibrary.generate(profile, seed=args.seed)
+    doctor = StreamDoctor(profile, seed=args.seed)
+    stream = (
+        doctor.build_vs1(library)
+        if args.stream == "vs1"
+        else doctor.build_vs2(library, noise_sigma=2.0)
+    )
+    print(f"Built {stream.name}: {stream.clip.num_frames} key frames, "
+          f"{len(stream.ground_truth)} insertions, "
+          f"{len(library)} continuous queries")
+    return PreparedWorkload.prepare(stream, library)
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    prepared = _build_workload(args)
+    config = DetectorConfig(
+        num_hashes=args.hashes,
+        threshold=args.threshold,
+        window_seconds=args.window_seconds,
+        order=CombinationOrder(args.order),
+        representation=Representation(args.representation),
+        use_index=not args.no_index,
+    )
+    result = run_detector(prepared, config)
+    window_frames = max(
+        1, round(args.window_seconds * prepared.keyframes_per_second)
+    )
+    detections = merge_matches(result.matches, gap_frames=window_frames)
+    rows = [
+        [d.qid, d.start_frame, d.end_frame, f"{d.peak_similarity:.2f}"]
+        for d in detections
+    ]
+    print()
+    print(format_table(
+        ["query", "start frame", "end frame", "peak sim"],
+        rows,
+        title="Detections",
+    ))
+    print()
+    print(f"precision={result.quality.precision:.3f} "
+          f"recall={result.quality.recall:.3f} "
+          f"cpu={result.cpu_seconds:.3f}s "
+          f"avg_signatures={result.stats.avg_signatures:.1f}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    prepared = _build_workload(args)
+    precisions: List[float] = []
+    recalls: List[float] = []
+    cpu: List[float] = []
+    for value in args.values:
+        if args.parameter == "hashes":
+            config = DetectorConfig(num_hashes=int(value))
+        elif args.parameter == "threshold":
+            config = DetectorConfig(threshold=value)
+        else:
+            config = DetectorConfig(window_seconds=value)
+        result = run_detector(prepared, config)
+        precisions.append(result.quality.precision)
+        recalls.append(result.quality.recall)
+        cpu.append(result.cpu_seconds)
+    print()
+    print(format_series("precision", args.values, precisions))
+    print(format_series("recall", args.values, recalls))
+    print(format_series("cpu_seconds", args.values, cpu))
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    synth = ClipSynthesizer(seed=args.seed)
+    clip = synth.generate_clip(args.seconds, label="inspect", fps=10.0)
+    encoded = encode_video(
+        clip.frames,
+        fps=clip.fps,
+        quality=args.quality,
+        gop_size=args.gop,
+        use_motion=args.motion,
+        entropy_coding=args.entropy,
+    )
+    dc_frames = list(decode_dc_coefficients(encoded))
+    raw_bytes = clip.frames.size  # one byte per pixel, uncompressed
+    print(format_table(
+        ["field", "value"],
+        [
+            ["frames", encoded.num_frames],
+            ["I frames", encoded.num_keyframes],
+            ["frame size", f"{encoded.width}x{encoded.height}"],
+            ["quality", encoded.quality],
+            ["GOP", encoded.gop_size],
+            ["prediction", "motion-compensated" if args.motion else "difference"],
+            ["entropy coding", "exp-Golomb" if args.entropy else "varint"],
+            ["bitstream bytes", encoded.size_bytes],
+            ["compression", f"{raw_bytes / encoded.size_bytes:.1f}x"],
+            ["partial-decode I frames", len(dc_frames)],
+            ["DC grid per I frame",
+             f"{dc_frames[0][1].shape[0]}x{dc_frames[0][1].shape[1]}"],
+        ],
+        title="Bitstream report",
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _command_demo(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    return _command_inspect(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

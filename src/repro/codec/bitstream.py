@@ -1,0 +1,142 @@
+"""Byte-exact bitstream serialisation for the toy codec.
+
+The encoded video is a real byte string with a magic number, versioned
+header and per-frame records. The format deliberately skips entropy coding
+(no Huffman tables) — coefficient levels are stored as zig-zag runs of
+signed varints — but everything a *partial decoder* needs to exercise is
+here: headers must be parsed, frame records must be walked, and the DC
+coefficient of each block is the first value of each block record, so a
+DC-only decoder can skip the AC tail without dequantising it.
+
+Layout::
+
+    magic    4 bytes  b"RVC1"
+    header   varints: width, height, block_size, quality, gop_size, n_frames,
+             fps_millis (frames per second * 1000, rounded)
+    frames   n_frames records:
+        frame_type   1 byte   b"I" or b"P"
+        n_blocks     varint
+        blocks       n_blocks records of zig-zag coefficient levels,
+                     each encoded as: n_values varint, then signed varints
+                     (trailing zeros of the scan are truncated)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import BitstreamError
+
+__all__ = ["BitstreamReader", "BitstreamWriter", "MAGIC"]
+
+MAGIC = b"RVC1"
+
+
+def _zigzag_encode_int(value: int) -> int:
+    """Map a signed int to an unsigned one (protobuf zig-zag trick)."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _zigzag_decode_int(value: int) -> int:
+    """Inverse of :func:`_zigzag_encode_int`."""
+    return (value >> 1) if value % 2 == 0 else -((value + 1) >> 1)
+
+
+class BitstreamWriter:
+    """Append-only writer producing the serialised byte string."""
+
+    def __init__(self) -> None:
+        self._chunks: List[bytes] = []
+
+    def write_magic(self) -> None:
+        """Emit the 4-byte magic number."""
+        self._chunks.append(MAGIC)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Emit raw bytes."""
+        self._chunks.append(data)
+
+    def write_uvarint(self, value: int) -> None:
+        """Emit an unsigned LEB128 varint."""
+        if value < 0:
+            raise BitstreamError(f"uvarint cannot encode negative {value}")
+        out = bytearray()
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                break
+        self._chunks.append(bytes(out))
+
+    def write_svarint(self, value: int) -> None:
+        """Emit a signed varint (zig-zag mapped LEB128)."""
+        self.write_uvarint(_zigzag_encode_int(value))
+
+    def getvalue(self) -> bytes:
+        """Return everything written so far as one byte string."""
+        return b"".join(self._chunks)
+
+
+class BitstreamReader:
+    """Sequential reader over a serialised byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current byte offset."""
+        return self._pos
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every byte has been consumed."""
+        return self._pos >= len(self._data)
+
+    def read_magic(self) -> None:
+        """Consume and verify the magic number."""
+        found = self.read_bytes(len(MAGIC))
+        if found != MAGIC:
+            raise BitstreamError(
+                f"bad magic: expected {MAGIC!r}, found {found!r}"
+            )
+
+    def read_bytes(self, count: int) -> bytes:
+        """Consume exactly ``count`` raw bytes."""
+        if self._pos + count > len(self._data):
+            raise BitstreamError(
+                f"truncated stream: wanted {count} bytes at offset {self._pos}, "
+                f"only {len(self._data) - self._pos} remain"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read_uvarint(self) -> int:
+        """Consume one unsigned LEB128 varint."""
+        result = 0
+        shift = 0
+        while True:
+            if self._pos >= len(self._data):
+                raise BitstreamError("truncated varint at end of stream")
+            byte = self._data[self._pos]
+            self._pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 70:
+                raise BitstreamError("varint longer than 10 bytes; corrupt stream")
+
+    def read_svarint(self) -> int:
+        """Consume one signed (zig-zag) varint."""
+        return _zigzag_decode_int(self.read_uvarint())
+
+    def skip_uvarints(self, count: int) -> None:
+        """Skip ``count`` varints without decoding their values."""
+        for _ in range(count):
+            self.read_uvarint()

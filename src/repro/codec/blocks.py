@@ -1,0 +1,75 @@
+"""Frame <-> block tiling.
+
+The codec operates on square blocks (8x8 by default, as in MPEG-1). Frames
+whose sides are not multiples of the block size are edge-padded before
+tiling; the original frame size is carried in the bitstream header so the
+decoder can crop the padding away.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["assemble_blocks", "pad_to_blocks", "split_into_blocks"]
+
+
+def pad_to_blocks(frame: np.ndarray, block_size: int) -> np.ndarray:
+    """Edge-pad a 2-D frame so both sides are multiples of ``block_size``."""
+    if frame.ndim != 2:
+        raise CodecError(f"expected a 2-D grayscale frame, got ndim={frame.ndim}")
+    if block_size <= 0:
+        raise CodecError(f"block_size must be positive, got {block_size}")
+    rows, cols = frame.shape
+    pad_rows = (-rows) % block_size
+    pad_cols = (-cols) % block_size
+    if pad_rows == 0 and pad_cols == 0:
+        return frame
+    return np.pad(frame, ((0, pad_rows), (0, pad_cols)), mode="edge")
+
+
+def split_into_blocks(frame: np.ndarray, block_size: int) -> np.ndarray:
+    """Tile a padded frame into blocks.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(rows // bs, cols // bs, bs, bs)`` — a view-free
+        reshape, so the result owns its layout and is safe to mutate.
+    """
+    padded = pad_to_blocks(frame, block_size)
+    rows, cols = padded.shape
+    grid = padded.reshape(
+        rows // block_size, block_size, cols // block_size, block_size
+    )
+    return np.ascontiguousarray(grid.transpose(0, 2, 1, 3))
+
+
+def assemble_blocks(
+    blocks: np.ndarray, frame_shape: Tuple[int, int]
+) -> np.ndarray:
+    """Inverse of :func:`split_into_blocks`, cropped to ``frame_shape``.
+
+    Parameters
+    ----------
+    blocks:
+        Array of shape ``(grid_rows, grid_cols, bs, bs)``.
+    frame_shape:
+        The original (rows, cols) before padding; the assembled frame is
+        cropped back to this size.
+    """
+    if blocks.ndim != 4 or blocks.shape[2] != blocks.shape[3]:
+        raise CodecError(f"expected (gr, gc, bs, bs) blocks, got {blocks.shape}")
+    grid_rows, grid_cols, block_size, _ = blocks.shape
+    frame = blocks.transpose(0, 2, 1, 3).reshape(
+        grid_rows * block_size, grid_cols * block_size
+    )
+    target_rows, target_cols = frame_shape
+    if target_rows > frame.shape[0] or target_cols > frame.shape[1]:
+        raise CodecError(
+            f"frame shape {frame_shape} exceeds assembled size {frame.shape}"
+        )
+    return frame[:target_rows, :target_cols]

@@ -1,0 +1,140 @@
+"""Block motion estimation and compensation.
+
+Real MPEG P frames are not plain frame differences: each macroblock is
+predicted from a *motion-shifted* block of the reference frame, and only
+the residual is transformed. This module implements exhaustive
+block-matching motion search over a ±``search_range`` window, vectorised
+by candidate offset: for every offset the SAD of *all* blocks against
+the shifted reference is computed in one array operation, then each
+block picks its arg-min offset.
+
+Used by :func:`repro.codec.gop.encode_video` when ``motion_search`` is
+enabled; the bitstream then carries per-block motion vectors ahead of
+the residual scans.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["compensate", "motion_search"]
+
+
+def _shifted(reference: np.ndarray, dy: int, dx: int) -> np.ndarray:
+    """Reference frame translated by (dy, dx) with edge replication.
+
+    Pixels shifted in from outside the frame take the nearest edge value,
+    matching the unrestricted-motion-vector edge handling of real codecs.
+    """
+    rows, cols = reference.shape
+    row_index = np.clip(np.arange(rows) + dy, 0, rows - 1)
+    col_index = np.clip(np.arange(cols) + dx, 0, cols - 1)
+    return reference[np.ix_(row_index, col_index)]
+
+
+def motion_search(
+    reference: np.ndarray,
+    target: np.ndarray,
+    block_size: int = 8,
+    search_range: int = 4,
+) -> np.ndarray:
+    """Exhaustive block-matching search.
+
+    Parameters
+    ----------
+    reference:
+        The previously reconstructed frame (prediction source).
+    target:
+        The frame being encoded. Must share the reference's shape, with
+        both sides multiples of ``block_size``.
+    block_size:
+        Macroblock side.
+    search_range:
+        Maximum absolute displacement per axis; the search visits all
+        ``(2R+1)^2`` integer offsets.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(grid_rows, grid_cols, 2)``; entry
+        ``[r, c]`` is the ``(dy, dx)`` minimising the block's sum of
+        absolute differences (ties resolved toward the zero vector by
+        search order).
+    """
+    if reference.shape != target.shape:
+        raise CodecError(
+            f"reference {reference.shape} and target {target.shape} differ"
+        )
+    rows, cols = target.shape
+    if rows % block_size or cols % block_size:
+        raise CodecError(
+            f"frame {rows}x{cols} is not a multiple of block size {block_size}"
+        )
+    if search_range < 0:
+        raise CodecError(f"search_range must be non-negative, got {search_range}")
+    grid_rows = rows // block_size
+    grid_cols = cols // block_size
+
+    # Visit offsets in increasing |dy|+|dx| so ties favour small vectors.
+    offsets = sorted(
+        (
+            (dy, dx)
+            for dy in range(-search_range, search_range + 1)
+            for dx in range(-search_range, search_range + 1)
+        ),
+        key=lambda o: (abs(o[0]) + abs(o[1]), o),
+    )
+
+    best_sad = np.full((grid_rows, grid_cols), np.inf)
+    best_vector = np.zeros((grid_rows, grid_cols, 2), dtype=np.int64)
+    target64 = target.astype(np.float64)
+    for dy, dx in offsets:
+        difference = np.abs(target64 - _shifted(reference, dy, dx))
+        sad = (
+            difference.reshape(grid_rows, block_size, grid_cols, block_size)
+            .sum(axis=(1, 3))
+        )
+        better = sad < best_sad
+        best_sad = np.where(better, sad, best_sad)
+        best_vector[better] = (dy, dx)
+    return best_vector
+
+
+def compensate(
+    reference: np.ndarray,
+    vectors: np.ndarray,
+    block_size: int = 8,
+) -> np.ndarray:
+    """Build the motion-compensated prediction frame.
+
+    Each output block is the reference block displaced by that block's
+    vector (edge-replicated at frame borders). Exact inverse of the
+    encoder's prediction, so encoder and decoder stay in lockstep.
+    """
+    rows, cols = reference.shape
+    grid_rows, grid_cols = vectors.shape[:2]
+    if (grid_rows * block_size, grid_cols * block_size) != (rows, cols):
+        raise CodecError(
+            f"vector grid {grid_rows}x{grid_cols} does not tile a "
+            f"{rows}x{cols} frame with {block_size}px blocks"
+        )
+    prediction = np.empty_like(reference, dtype=np.float64)
+    for grid_row in range(grid_rows):
+        for grid_col in range(grid_cols):
+            dy, dx = (int(v) for v in vectors[grid_row, grid_col])
+            row0 = grid_row * block_size
+            col0 = grid_col * block_size
+            source_rows = np.clip(
+                np.arange(row0, row0 + block_size) + dy, 0, rows - 1
+            )
+            source_cols = np.clip(
+                np.arange(col0, col0 + block_size) + dx, 0, cols - 1
+            )
+            prediction[row0 : row0 + block_size, col0 : col0 + block_size] = (
+                reference[np.ix_(source_rows, source_cols)]
+            )
+    return prediction

@@ -1,0 +1,63 @@
+"""Zig-zag coefficient ordering.
+
+MPEG and JPEG serialise each quantised block in zig-zag order so that the
+(usually zero) high-frequency coefficients cluster at the end of the scan.
+Our bitstream stores blocks the same way, which is what makes *partial*
+decoding cheap: the DC coefficient is always the first value of the scan,
+so a DC-only decoder reads one value and skips the rest.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["zigzag_indices", "zigzag_order", "zigzag_restore"]
+
+
+@lru_cache(maxsize=16)
+def zigzag_indices(size: int) -> Tuple[Tuple[int, int], ...]:
+    """Return the (row, col) visit order for a ``size x size`` zig-zag scan.
+
+    The scan starts at (0, 0), walks anti-diagonals alternately up-right and
+    down-left, and ends at (size-1, size-1).
+    """
+    if size <= 0:
+        raise CodecError(f"zig-zag size must be positive, got {size}")
+    order: List[Tuple[int, int]] = []
+    for diagonal in range(2 * size - 1):
+        cells = [
+            (row, diagonal - row)
+            for row in range(size)
+            if 0 <= diagonal - row < size
+        ]
+        if diagonal % 2 == 0:
+            cells.reverse()  # even diagonals are walked bottom-left -> top-right
+        order.extend(cells)
+    return tuple(order)
+
+
+def zigzag_order(block: np.ndarray) -> np.ndarray:
+    """Serialise a square block into its zig-zag scan (1-D array)."""
+    if block.ndim != 2 or block.shape[0] != block.shape[1]:
+        raise CodecError(f"zig-zag needs a square 2-D block, got {block.shape}")
+    indices = zigzag_indices(block.shape[0])
+    rows = np.fromiter((r for r, _ in indices), dtype=np.intp)
+    cols = np.fromiter((c for _, c in indices), dtype=np.intp)
+    return block[rows, cols]
+
+
+def zigzag_restore(scan: np.ndarray, size: int) -> np.ndarray:
+    """Rebuild a square block from its zig-zag scan."""
+    if scan.ndim != 1 or scan.shape[0] != size * size:
+        raise CodecError(
+            f"scan of length {scan.shape} cannot fill a {size}x{size} block"
+        )
+    block = np.empty((size, size), dtype=scan.dtype)
+    for position, (row, col) in enumerate(zigzag_indices(size)):
+        block[row, col] = scan[position]
+    return block

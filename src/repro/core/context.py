@@ -1,0 +1,224 @@
+"""Shared state and primitive operations of the two engine orders.
+
+:class:`EvalContext` owns everything the Sequential and Geometric engines
+both need: the query set, configuration-derived constants (window length
+in frames, per-query candidate caps, the Lemma 2 bound), the optional
+Hash-Query index, and the instrumented primitive operations — window
+payload construction, sketch similarity, lazy bit-signature encoding.
+Routing every primitive through this class is what makes the engines'
+cost profiles measurable (see :class:`~repro.core.monitor.EngineStats`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.config import DetectorConfig, Representation
+from repro.core.monitor import EngineStats
+from repro.core.query import QuerySet
+from repro.errors import DetectionError
+from repro.index.hq import HashQueryIndex
+from repro.index.probe import probe_index
+from repro.minhash.sketch import Sketch
+from repro.minhash.windows import BasicWindow
+from repro.signature.bitsig import BitSignature
+from repro.signature.pruning import violates_lemma2
+
+__all__ = ["EvalContext", "WindowPayload"]
+
+
+@dataclass
+class WindowPayload:
+    """A basic window plus its per-query comparison artefacts.
+
+    Attributes
+    ----------
+    window:
+        The sketched basic window.
+    sigs:
+        Bit mode: window-vs-query signatures, keyed by qid. Only the
+        *related* queries appear (all queries when no index is used, the
+        probe's ``R_L`` when it is).
+    related:
+        The qids relevant to this window (equals ``sigs.keys()`` in bit
+        mode; in sketch mode it is the probe result or all queries).
+    lazy_sigs:
+        Memo for window-vs-query signatures computed on demand for
+        queries outside ``sigs`` (candidates that track a query this
+        window is not related to still need the window's relation bits).
+        Shared by every candidate extended with this window.
+    """
+
+    window: BasicWindow
+    sigs: Dict[int, BitSignature] = field(default_factory=dict)
+    related: Set[int] = field(default_factory=set)
+    lazy_sigs: Dict[int, BitSignature] = field(default_factory=dict)
+
+
+class EvalContext:
+    """Configuration-resolved engine state and instrumented primitives."""
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        queries: QuerySet,
+        window_frames: int,
+        index: Optional[HashQueryIndex] = None,
+    ) -> None:
+        if window_frames <= 0:
+            raise DetectionError(
+                f"window_frames must be positive, got {window_frames}"
+            )
+        if config.use_index and index is None:
+            raise DetectionError("config requests an index but none was supplied")
+        self.config = config
+        self.queries = queries
+        self.window_frames = window_frames
+        self.index = index if config.use_index else None
+        self.stats = EngineStats()
+        self.max_windows: Dict[int, int] = queries.max_windows_map(
+            window_frames, config.tempo_scale
+        )
+        self.global_max_windows = max(self.max_windows.values())
+        self.all_qids: Set[int] = set(queries.query_ids)
+        self._query_matrix_cache: Optional[tuple] = None
+
+    def refresh_queries(self) -> None:
+        """Recompute query-derived state after subscribe/unsubscribe."""
+        self.max_windows = self.queries.max_windows_map(
+            self.window_frames, self.config.tempo_scale
+        )
+        self.global_max_windows = max(self.max_windows.values())
+        self.all_qids = set(self.queries.query_ids)
+        self._query_matrix_cache = None
+
+    def _query_matrix(self) -> tuple:
+        """``(qids, (m, K) value matrix)`` for batched window encoding."""
+        if self._query_matrix_cache is None:
+            qids = self.queries.query_ids
+            matrix = np.stack(
+                [self.queries.get(qid).sketch.values for qid in qids]
+            )
+            self._query_matrix_cache = (qids, matrix)
+        return self._query_matrix_cache
+
+    # ------------------------------------------------------------------
+    # derived predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_bit(self) -> bool:
+        """Whether the bit-signature representation is active."""
+        return self.config.representation is Representation.BIT
+
+    def within_cap(self, qid: int, num_windows: int) -> bool:
+        """Whether a candidate of ``num_windows`` windows may still match
+        query ``qid`` (the per-query λL bound)."""
+        return num_windows <= self.max_windows[qid]
+
+    def prunable(self, signature: BitSignature) -> bool:
+        """Lemma 2 check, honouring the config's ``prune`` switch."""
+        return self.config.prune and violates_lemma2(
+            signature, self.config.threshold
+        )
+
+    # ------------------------------------------------------------------
+    # instrumented primitives
+    # ------------------------------------------------------------------
+
+    def similarity(self, sketch: Sketch, qid: int) -> float:
+        """Sketch-vs-query similarity (one ``C_comp`` of Eq. (4))."""
+        self.stats.sketch_comparisons += 1
+        return sketch.similarity(self.queries.get(qid).sketch)
+
+    def combine(self, left: Sketch, right: Sketch) -> Sketch:
+        """Sketch combination (one ``C_comb`` of Eq. (4))."""
+        self.stats.sketch_combines += 1
+        return left.combine(right)
+
+    def encode_signature(self, sketch: Sketch, qid: int) -> BitSignature:
+        """Encode a bit signature from a sketch pair (O(K) operation)."""
+        self.stats.signature_encodes += 1
+        return BitSignature.encode(sketch, self.queries.get(qid).sketch)
+
+    def or_signatures(self, left: BitSignature, right: BitSignature) -> BitSignature:
+        """Bitwise-OR signature combination (the cheap bit operation)."""
+        self.stats.signature_combines += 1
+        return left.combine(right)
+
+    def window_signature(self, payload: WindowPayload, qid: int) -> BitSignature:
+        """Window-vs-query signature, memoised on the payload.
+
+        Candidates tracking a query the window is not related to all need
+        the same relation bits; the encode is performed once per
+        (window, query) pair.
+        """
+        signature = payload.sigs.get(qid)
+        if signature is not None:
+            return signature
+        signature = payload.lazy_sigs.get(qid)
+        if signature is None:
+            signature = self.encode_signature(payload.window.sketch, qid)
+            payload.lazy_sigs[qid] = signature
+        return signature
+
+    # ------------------------------------------------------------------
+    # window payload construction
+    # ------------------------------------------------------------------
+
+    def window_payload(self, window: BasicWindow) -> WindowPayload:
+        """Compare an arriving basic window against the query population.
+
+        With the index, a single probe yields the related queries and (in
+        bit mode) their signatures; without it, every query is compared.
+        """
+        if self.index is not None:
+            self.stats.index_probes += 1
+            related_list = probe_index(
+                window.sketch,
+                self.index,
+                self.config.threshold,
+                prune=self.config.prune and self.is_bit,
+            )
+            if self.is_bit:
+                sigs = {
+                    element.qid: element.signature(self.config.num_hashes)
+                    for element in related_list
+                }
+                return WindowPayload(
+                    window=window, sigs=sigs, related=set(sigs)
+                )
+            return WindowPayload(
+                window=window,
+                related={element.qid for element in related_list},
+            )
+
+        if self.is_bit:
+            # Batched encode: compare the window's K values against the
+            # (m, K) query matrix in one shot and pack both planes row-wise.
+            qids, matrix = self._query_matrix()
+            values = window.sketch.values
+            ge_planes = np.packbits(
+                values[np.newaxis, :] <= matrix, axis=1, bitorder="little"
+            )
+            lt_planes = np.packbits(
+                values[np.newaxis, :] < matrix, axis=1, bitorder="little"
+            )
+            self.stats.signature_encodes += len(qids)
+            sigs: Dict[int, BitSignature] = {}
+            for row, qid in enumerate(qids):
+                signature = BitSignature._raw(
+                    int.from_bytes(ge_planes[row].tobytes(), "little"),
+                    int.from_bytes(lt_planes[row].tobytes(), "little"),
+                    self.config.num_hashes,
+                )
+                if self.prunable(signature):
+                    self.stats.signature_prunes += 1
+                    continue
+                sigs[qid] = signature
+            return WindowPayload(window=window, sigs=sigs, related=set(sigs))
+
+        return WindowPayload(window=window, related=set(self.all_qids))

@@ -1,0 +1,159 @@
+"""The public streaming copy-detection facade.
+
+:class:`StreamingDetector` wires the pieces of Sections IV-V together for
+one stream: it sketches basic windows, consults the Hash-Query index when
+configured, feeds the Sequential or Geometric engine, and accumulates
+match events and statistics. Queries can be subscribed and unsubscribed
+while the stream is running, mirroring the paper's online index
+maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config import CombinationOrder, DetectorConfig
+from repro.core.context import EvalContext
+from repro.core.engine_geometric import GeometricEngine
+from repro.core.engine_sequential import SequentialEngine
+from repro.core.monitor import EngineStats
+from repro.core.query import Query, QuerySet
+from repro.core.results import Match
+from repro.errors import DetectionError
+from repro.index.hq import HashQueryIndex
+from repro.minhash.windows import BasicWindow, iter_basic_windows
+
+__all__ = ["StreamingDetector"]
+
+
+class StreamingDetector:
+    """Continuous copy detection of a query set over one video stream.
+
+    Parameters
+    ----------
+    config:
+        Engine configuration (K, δ, w, λ, order, representation, index).
+    queries:
+        The subscribed continuous queries; their sketches must come from
+        the same hash family the stream windows will be sketched with.
+    keyframes_per_second:
+        Cadence of the incoming cell-id stream, used to convert the
+        configured window length (seconds) into key frames.
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        queries: QuerySet,
+        keyframes_per_second: float,
+    ) -> None:
+        if keyframes_per_second <= 0:
+            raise DetectionError(
+                f"keyframes_per_second must be positive, "
+                f"got {keyframes_per_second}"
+            )
+        self.config = config
+        self.queries = queries
+        self.keyframes_per_second = keyframes_per_second
+        self.window_frames = max(
+            1, round(config.window_seconds * keyframes_per_second)
+        )
+
+        index: Optional[HashQueryIndex] = None
+        if config.use_index:
+            index = HashQueryIndex.build(
+                queries.sketches(),
+                queries.max_windows_map(self.window_frames, config.tempo_scale),
+            )
+            index.warm_caches()
+        self.index = index
+        self.context = EvalContext(
+            config=config,
+            queries=queries,
+            window_frames=self.window_frames,
+            index=index,
+        )
+        if config.order is CombinationOrder.SEQUENTIAL:
+            self.engine: SequentialEngine | GeometricEngine = SequentialEngine(
+                self.context
+            )
+        else:
+            self.engine = GeometricEngine(self.context)
+        self.matches: List[Match] = []
+
+    # ------------------------------------------------------------------
+    # stream processing
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        """Instrumentation accumulated so far."""
+        return self.context.stats
+
+    def process_window(self, window: BasicWindow) -> List[Match]:
+        """Feed one pre-sketched basic window; return its match events."""
+        payload = self.context.window_payload(window)
+        matches = self.engine.process(payload)
+        self.matches.extend(matches)
+        return matches
+
+    def process_cell_ids(
+        self, cell_ids: Sequence[int] | np.ndarray
+    ) -> List[Match]:
+        """Feed a whole per-key-frame cell-id stream; return all matches.
+
+        The stream is chopped into basic windows of the configured length
+        and processed in order. May be called repeatedly with consecutive
+        stream chunks as long as each chunk is a whole number of windows.
+        """
+        all_matches: List[Match] = []
+        offset_windows = self.context.stats.windows_processed
+        offset_frames = offset_windows * self.window_frames
+        for window in iter_basic_windows(
+            cell_ids, self.window_frames, self.queries.family
+        ):
+            shifted = BasicWindow(
+                index=window.index + offset_windows,
+                start_frame=window.start_frame + offset_frames,
+                num_frames=window.num_frames,
+                cell_ids=window.cell_ids,
+                sketch=window.sketch,
+            )
+            all_matches.extend(self.process_window(shifted))
+        return all_matches
+
+    # ------------------------------------------------------------------
+    # online query maintenance
+    # ------------------------------------------------------------------
+
+    def subscribe(self, query: Query) -> None:
+        """Add a continuous query while the stream is running."""
+        self.queries.add(query)
+        if self.index is not None:
+            self.index.insert(
+                query.qid,
+                query.sketch,
+                query.max_candidate_windows(
+                    self.window_frames, self.config.tempo_scale
+                ),
+            )
+            self.index.warm_caches()
+        self.context.refresh_queries()
+
+    def unsubscribe(self, qid: int) -> None:
+        """Remove a continuous query; purges its in-flight state."""
+        self.queries.remove(qid)
+        if self.index is not None:
+            self.index.remove(qid)
+            self.index.warm_caches()
+        self.context.refresh_queries()
+        holders = (
+            self.engine.candidates
+            if isinstance(self.engine, SequentialEngine)
+            else self.engine.segments
+        )
+        for holder in holders:
+            holder.sigs.pop(qid, None)
+            holder.relevant.discard(qid)

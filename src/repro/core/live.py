@@ -1,0 +1,124 @@
+"""Live stream monitoring: bitstream / frame chunks in, matches out.
+
+:class:`StreamingDetector` consumes whole basic windows of cell ids; a
+live deployment receives arbitrary-sized chunks — a few encoded GOPs
+from a capture card, a burst of key frames. :class:`LiveMonitor` is the
+adapter: it runs the compressed-domain feature pipeline on whatever
+arrives (encoded bitstreams via the partial decoder, raw frames via the
+pixel path, or pre-extracted cell ids), buffers the signature stream,
+and feeds the detector exactly one basic window at a time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.codec.gop import EncodedVideo
+from repro.core.detector import StreamingDetector
+from repro.core.results import Match
+from repro.errors import DetectionError
+from repro.features.pipeline import FingerprintExtractor
+from repro.video.clip import VideoClip
+
+__all__ = ["LiveMonitor"]
+
+
+class LiveMonitor:
+    """Incremental front end for a :class:`StreamingDetector`.
+
+    Parameters
+    ----------
+    detector:
+        The configured detector (queries already subscribed).
+    extractor:
+        Fingerprint pipeline used for encoded/raw-frame input; must use
+        the same configuration the query fingerprints were built with.
+
+    Example
+    -------
+    >>> monitor = LiveMonitor(detector, extractor)     # doctest: +SKIP
+    >>> for chunk in capture_card:                     # doctest: +SKIP
+    ...     for match in monitor.push_encoded(chunk):
+    ...         alert(match)
+    >>> monitor.flush()                                # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        detector: StreamingDetector,
+        extractor: FingerprintExtractor,
+    ) -> None:
+        self.detector = detector
+        self.extractor = extractor
+        self._pending = np.empty(0, dtype=np.int64)
+        self._flushed = False
+
+    @property
+    def pending_frames(self) -> int:
+        """Key frames buffered but not yet forming a full basic window."""
+        return int(self._pending.shape[0])
+
+    @property
+    def frames_consumed(self) -> int:
+        """Key frames already handed to the detector."""
+        return (
+            self.detector.stats.windows_processed * self.detector.window_frames
+        )
+
+    # ------------------------------------------------------------------
+    # input adapters
+    # ------------------------------------------------------------------
+
+    def push_encoded(self, encoded: EncodedVideo) -> List[Match]:
+        """Feed an encoded bitstream chunk (I frames partially decoded)."""
+        return self.push_cell_ids(self.extractor.cell_ids_from_encoded(encoded))
+
+    def push_frames(
+        self, frames: Union[np.ndarray, VideoClip]
+    ) -> List[Match]:
+        """Feed raw key frames (or a clip) through the pixel path."""
+        if isinstance(frames, VideoClip):
+            frames = frames.frames
+        return self.push_cell_ids(self.extractor.cell_ids_from_frames(frames))
+
+    def push_cell_ids(
+        self, cell_ids: Union[Sequence[int], np.ndarray]
+    ) -> List[Match]:
+        """Feed pre-extracted frame signatures.
+
+        Buffers until whole basic windows are available, then runs the
+        detector on them; returns any matches produced by this push.
+        """
+        if self._flushed:
+            raise DetectionError(
+                "monitor already flushed; create a new LiveMonitor to "
+                "process another stream"
+            )
+        ids = np.asarray(cell_ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise DetectionError(
+                f"cell ids must be 1-D, got shape {ids.shape}"
+            )
+        self._pending = np.concatenate([self._pending, ids])
+        window_frames = self.detector.window_frames
+        full = (self._pending.shape[0] // window_frames) * window_frames
+        if full == 0:
+            return []
+        ready, self._pending = self._pending[:full], self._pending[full:]
+        return self.detector.process_cell_ids(ready)
+
+    def flush(self) -> List[Match]:
+        """Process the trailing partial window (end of stream).
+
+        After flushing, further pushes are rejected: the detector's
+        window clock can no longer stay aligned.
+        """
+        if self._flushed:
+            return []
+        self._flushed = True
+        if self._pending.shape[0] == 0:
+            return []
+        tail, self._pending = self._pending, np.empty(0, dtype=np.int64)
+        return self.detector.process_cell_ids(tail)

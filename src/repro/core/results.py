@@ -1,0 +1,114 @@
+"""Match events and their aggregation into detections.
+
+The engine emits a raw :class:`Match` every time a candidate sequence
+crosses the similarity threshold for some query — a true copy therefore
+produces a run of matches as the candidate slides across it. For
+precision/recall scoring, overlapping or adjacent matches of the same
+query are merged into :class:`Detection` intervals ("video sequences
+detected by the method", in the paper's wording).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+__all__ = ["Detection", "Match", "merge_matches"]
+
+
+@dataclass(frozen=True)
+class Match:
+    """One threshold crossing of a candidate sequence.
+
+    Attributes
+    ----------
+    qid:
+        The matched query.
+    window_index:
+        Basic-window index at which the match was reported.
+    start_frame, end_frame:
+        Key-frame span of the matching candidate sequence (end exclusive).
+    similarity:
+        Estimated similarity at report time.
+    """
+
+    qid: int
+    window_index: int
+    start_frame: int
+    end_frame: int
+    similarity: float
+
+    @property
+    def position_frame(self) -> int:
+        """The match position ``p`` (paper Section VI): the key-frame
+        index where the match is reported, i.e. the candidate's end."""
+        return self.end_frame
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A maximal run of merged matches for one query.
+
+    Attributes
+    ----------
+    qid:
+        The detected query.
+    start_frame, end_frame:
+        Union of the merged matches' spans (end exclusive).
+    peak_similarity:
+        Highest similarity among the merged matches.
+    num_matches:
+        How many raw match events were merged.
+    """
+
+    qid: int
+    start_frame: int
+    end_frame: int
+    peak_similarity: float
+    num_matches: int
+
+    @property
+    def position_frame(self) -> int:
+        """Representative report position: the detection's end frame."""
+        return self.end_frame
+
+
+def merge_matches(
+    matches: Sequence[Match], gap_frames: int = 0
+) -> List[Detection]:
+    """Merge per-query overlapping/adjacent matches into detections.
+
+    Two matches of the same query merge when their frame spans overlap or
+    sit within ``gap_frames`` of each other. The result is sorted by
+    (qid, start_frame).
+    """
+    if gap_frames < 0:
+        raise ValueError(f"gap_frames must be non-negative, got {gap_frames}")
+    by_query: Dict[int, List[Match]] = {}
+    for match in matches:
+        by_query.setdefault(match.qid, []).append(match)
+
+    detections: List[Detection] = []
+    for qid in sorted(by_query):
+        runs = sorted(by_query[qid], key=lambda m: (m.start_frame, m.end_frame))
+        current_start = runs[0].start_frame
+        current_end = runs[0].end_frame
+        current_peak = runs[0].similarity
+        current_count = 1
+        for match in runs[1:]:
+            if match.start_frame <= current_end + gap_frames:
+                current_end = max(current_end, match.end_frame)
+                current_peak = max(current_peak, match.similarity)
+                current_count += 1
+            else:
+                detections.append(
+                    Detection(qid, current_start, current_end, current_peak, current_count)
+                )
+                current_start = match.start_frame
+                current_end = match.end_frame
+                current_peak = match.similarity
+                current_count = 1
+        detections.append(
+            Detection(qid, current_start, current_end, current_peak, current_count)
+        )
+    return detections

@@ -1,0 +1,98 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failure domain (codec, feature
+extraction, sketching, indexing, detection, workload generation).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A parameter value is outside its legal domain.
+
+    Raised eagerly at construction time of configuration objects so that a
+    bad experiment setup fails before any stream processing starts.
+    """
+
+
+class CodecError(ReproError):
+    """The toy MPEG-like codec was asked to do something impossible.
+
+    Examples: encoding a frame whose sides are not multiples of the block
+    size, or decoding a bitstream with a corrupted header.
+    """
+
+
+class BitstreamError(CodecError):
+    """A compressed bitstream is truncated, corrupt or mis-versioned."""
+
+
+class VideoError(ReproError):
+    """A video clip or frame violates a structural invariant.
+
+    Examples: an empty clip, mismatched frame shapes inside one clip, or an
+    edit operation applied with out-of-range strength.
+    """
+
+
+class FeatureError(ReproError):
+    """Frame fingerprint extraction failed.
+
+    Examples: a frame too small for the requested block grid, or a selector
+    asking for more dimensions than the grid provides.
+    """
+
+
+class PartitionError(ReproError):
+    """A feature vector cannot be mapped to a grid-pyramid cell.
+
+    Raised for vectors outside the unit hypercube or dimensionality
+    mismatches between the partitioner and the vector.
+    """
+
+
+class SketchError(ReproError):
+    """Min-hash sketch construction or combination failed.
+
+    Examples: combining sketches built from different hash families, or
+    sketching an empty element set.
+    """
+
+
+class SignatureError(ReproError):
+    """Bit-vector signature encoding or combination failed.
+
+    Examples: OR-combining signatures of different widths or built against
+    different queries.
+    """
+
+
+class IndexError_(ReproError):
+    """The Hash-Query index rejected an operation.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`. Raised for duplicate query ids, unknown query ids
+    on removal, or probing with a sketch of the wrong width.
+    """
+
+
+class DetectionError(ReproError):
+    """The streaming detection engine hit an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """Workload construction (library clips, doctored streams) failed.
+
+    Examples: inserting more clips than the base stream can hold, or a
+    ground-truth interval outside the stream.
+    """
+
+
+class EvaluationError(ReproError):
+    """Metric computation was asked to score inconsistent inputs."""

@@ -1,0 +1,32 @@
+"""Evaluation harness: the paper's scoring rule, runners and reporting.
+
+Implements Section VI's measurement protocol: the match-position
+correctness rule ``Q.begin + w <= p <= Q.end + w``, precision/recall over
+deduplicated detections, CPU timing that covers feature extraction and
+query processing, and the signature-count memory metric.
+"""
+
+from repro.evaluation.ascii_chart import render_chart
+from repro.evaluation.baseline_runner import (
+    BaselineResult,
+    OrdinalWorkload,
+    run_baseline,
+)
+from repro.evaluation.metrics import PrecisionRecall, is_correct_match, score_matches
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.runner import ExperimentResult, PreparedWorkload, run_detector
+
+__all__ = [
+    "BaselineResult",
+    "ExperimentResult",
+    "OrdinalWorkload",
+    "PrecisionRecall",
+    "PreparedWorkload",
+    "format_series",
+    "format_table",
+    "is_correct_match",
+    "render_chart",
+    "run_baseline",
+    "run_detector",
+    "score_matches",
+]

@@ -1,0 +1,110 @@
+"""Terminal line charts for benchmark output.
+
+The benchmark suite regenerates the paper's figures as numeric series;
+:func:`render_chart` adds a dependency-free visual: a fixed-size ASCII
+canvas with one glyph per series, y-axis labels and a shared x-axis.
+Good enough to eyeball a crossover or a saturation knee directly in CI
+logs and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def render_chart(
+    series: Dict[str, Sequence[float]],
+    x_values: Sequence[float],
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named series onto one ASCII canvas.
+
+    Parameters
+    ----------
+    series:
+        Mapping name -> y values (all the same length as ``x_values``).
+    x_values:
+        Shared x coordinates (plotted with even spacing; values are
+        labels, not positions — matching how the paper's figures space
+        their parameter sweeps).
+    height, width:
+        Canvas size in characters (plot area, excluding labels).
+    title, y_label:
+        Optional captions.
+
+    Returns
+    -------
+    str
+        The multi-line chart, legend included.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for "
+                f"{len(x_values)} x values"
+            )
+    if height < 2 or width < len(x_values):
+        raise ValueError("canvas too small")
+
+    all_values = [y for ys in series.values() for y in ys]
+    lo = min(all_values)
+    hi = max(all_values)
+    span = hi - lo if hi > lo else 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    # Even horizontal spacing of the sweep points.
+    if len(x_values) == 1:
+        columns = [width // 2]
+    else:
+        columns = [
+            round(position * (width - 1) / (len(x_values) - 1))
+            for position in range(len(x_values))
+        ]
+
+    for glyph, (name, ys) in zip(_GLYPHS, series.items()):
+        for column, y in zip(columns, ys):
+            row = height - 1 - round((y - lo) / span * (height - 1))
+            if canvas[row][column] == " ":
+                canvas[row][column] = glyph
+            else:
+                canvas[row][column] = "*"  # collision marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{hi:.3g}"), len(f"{lo:.3g}"), len(y_label))
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = f"{hi:.3g}"
+        elif row_index == height - 1:
+            label = f"{lo:.3g}"
+        elif row_index == height // 2 and y_label:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    tick_line = [" "] * (width + 2 + label_width)
+    for column, x in zip(columns, x_values):
+        text = f"{x:g}"
+        start = min(label_width + 2 + column, len(tick_line) - len(text))
+        for offset, char in enumerate(text):
+            tick_line[start + offset] = char
+    lines.append("".join(tick_line).rstrip())
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(_GLYPHS, series)
+    )
+    lines.append(f"{'':>{label_width}}  {legend}")
+    return "\n".join(lines)

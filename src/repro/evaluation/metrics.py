@@ -1,0 +1,144 @@
+"""Precision / recall under the paper's position rule.
+
+Section VI: "We record the begin ``Q_i.begin`` and end ``Q_i.end``
+positions of query ``Q_i`` on the stream. The position where a sequence
+matches is denoted as ``Q_i.p``. If ``Q_i.begin + w <= Q_i.p <= Q_i.end +
+w`` holds, this result is correct." A true copy triggers a run of match
+events as candidates slide across it; events of the same query within one
+basic window of each other are merged into a single *detection*, and
+
+* **precision** = correct detections / all detections,
+* **recall** = ground-truth occurrences covered by >= 1 correct match /
+  all occurrences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.results import Match
+from repro.errors import EvaluationError
+from repro.workloads.groundtruth import GroundTruth, Occurrence
+
+__all__ = ["PrecisionRecall", "is_correct_match", "score_matches"]
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Scoring outcome of one run.
+
+    Attributes
+    ----------
+    precision, recall:
+        As defined above; precision of zero detections is 1.0.
+    num_detections, num_correct_detections:
+        Deduplicated detection counts.
+    num_occurrences, num_detected_occurrences:
+        Ground-truth coverage counts.
+    num_matches:
+        Raw (pre-merge) match events.
+    """
+
+    precision: float
+    recall: float
+    num_detections: int
+    num_correct_detections: int
+    num_occurrences: int
+    num_detected_occurrences: int
+    num_matches: int
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def is_correct_match(
+    match: Match, occurrences: Sequence[Occurrence], window_frames: int
+) -> bool:
+    """The paper's rule for one match event against its query's
+    occurrences: ``begin + w <= p <= end + w``."""
+    if window_frames <= 0:
+        raise EvaluationError(
+            f"window_frames must be positive, got {window_frames}"
+        )
+    position = match.position_frame
+    return any(
+        occurrence.begin_frame + window_frames
+        <= position
+        <= occurrence.end_frame + window_frames
+        for occurrence in occurrences
+    )
+
+
+def score_matches(
+    matches: Sequence[Match],
+    ground_truth: GroundTruth,
+    window_frames: int,
+) -> PrecisionRecall:
+    """Score raw match events against ground truth.
+
+    Matches of one query are merged into detections when their spans
+    overlap or fall within one basic window; a detection is correct when
+    any of its constituent matches satisfies the position rule, and an
+    occurrence counts as detected when any correct match covers it.
+    """
+    if window_frames <= 0:
+        raise EvaluationError(
+            f"window_frames must be positive, got {window_frames}"
+        )
+    by_query: Dict[int, List[Match]] = {}
+    for match in matches:
+        by_query.setdefault(match.qid, []).append(match)
+
+    num_detections = 0
+    num_correct = 0
+    detected_occurrences: set[Tuple[int, int]] = set()
+
+    for qid, query_matches in by_query.items():
+        occurrences = ground_truth.occurrences_of(qid)
+        runs = sorted(query_matches, key=lambda m: (m.start_frame, m.end_frame))
+        run_end: int | None = None
+        run_correct = False
+        for match in runs:
+            correct = is_correct_match(match, occurrences, window_frames)
+            if correct:
+                for occurrence in occurrences:
+                    if (
+                        occurrence.begin_frame + window_frames
+                        <= match.position_frame
+                        <= occurrence.end_frame + window_frames
+                    ):
+                        detected_occurrences.add((qid, occurrence.begin_frame))
+            if run_end is None:
+                run_end = match.end_frame
+                run_correct = correct
+            elif match.start_frame <= run_end + window_frames:
+                run_end = max(run_end, match.end_frame)
+                run_correct = run_correct or correct
+            else:
+                num_detections += 1
+                num_correct += 1 if run_correct else 0
+                run_end = match.end_frame
+                run_correct = correct
+        if run_end is not None:
+            num_detections += 1
+            num_correct += 1 if run_correct else 0
+
+    num_occurrences = len(ground_truth)
+    precision = num_correct / num_detections if num_detections else 1.0
+    recall = (
+        len(detected_occurrences) / num_occurrences if num_occurrences else 1.0
+    )
+    return PrecisionRecall(
+        precision=precision,
+        recall=recall,
+        num_detections=num_detections,
+        num_correct_detections=num_correct,
+        num_occurrences=num_occurrences,
+        num_detected_occurrences=len(detected_occurrences),
+        num_matches=len(matches),
+    )

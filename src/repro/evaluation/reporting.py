@@ -1,0 +1,63 @@
+"""Plain-text table / series formatting for benchmark output.
+
+Every benchmark regenerates one of the paper's tables or figures as rows
+of text; these helpers keep the output aligned and uniform so
+``EXPERIMENTS.md`` can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_series", "format_table"]
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row value sequences; floats are shown with 4 significant digits.
+    title:
+        Optional caption printed above the table.
+    """
+    rendered: List[List[str]] = [[_render(v) for v in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object]
+) -> str:
+    """Render one figure series as ``name: x=y`` pairs, one per line."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+    pairs = "  ".join(f"{_render(x)}={_render(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

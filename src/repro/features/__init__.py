@@ -1,0 +1,31 @@
+"""Frame fingerprinting (paper Section III-A).
+
+The pipeline: partially decode DC coefficients of key frames → average
+them over a ``D``-block spatial grid → normalise to [0, 1] with Eq. (1) →
+select ``d`` of the ``D`` coefficients. The resulting d-dimensional vector
+is mapped to a 1-D cell id by :mod:`repro.partition`.
+
+Two equivalent entry points exist: the compressed-domain path
+(:func:`block_means_from_encoded`, fed by the toy codec's partial decoder)
+and a vectorised pixel-domain reference path
+(:func:`block_means_from_frames`) used by the large-scale benchmark
+workloads where re-encoding megabytes of synthetic video adds nothing to
+the comparison. Both produce block *mean luminance* grids; a test asserts
+they agree to within quantisation error.
+"""
+
+from repro.features.dc_extract import (
+    block_means_from_encoded,
+    block_means_from_frames,
+)
+from repro.features.normalize import normalize_features
+from repro.features.pipeline import FingerprintExtractor
+from repro.features.select import CoefficientSelector
+
+__all__ = [
+    "CoefficientSelector",
+    "FingerprintExtractor",
+    "block_means_from_encoded",
+    "block_means_from_frames",
+    "normalize_features",
+]

@@ -1,0 +1,49 @@
+"""Per-frame feature normalisation — Eq. (1) of the paper.
+
+Each frame's D block averages are rescaled to [0, 1] by
+
+.. math::
+
+    C_i = \\frac{\\tilde{C}_i - \\tilde{C}_{min}}
+               {\\tilde{C}_{max} - \\tilde{C}_{min}}
+
+This makes the fingerprint invariant to global brightness and contrast
+changes: any affine luminance map with positive gain leaves the normalised
+vector untouched, which is why the VS2 brightness attack barely moves the
+partition cell of a frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FeatureError
+
+__all__ = ["normalize_features"]
+
+#: Frames whose block averages span less than this range are "flat";
+#: their normalised features are defined as all-0.5 (a flat frame carries
+#: no ordinal information, so every coefficient sits mid-range).
+_FLAT_EPSILON = 1e-9
+
+
+def normalize_features(block_means: np.ndarray) -> np.ndarray:
+    """Apply Eq. (1) row-wise to a ``(n, D)`` block-average matrix.
+
+    Returns a new ``(n, D)`` matrix with every row in [0, 1]. Rows whose
+    maximum equals their minimum (completely flat frames — black frames,
+    fades) are mapped to the all-0.5 vector rather than dividing by zero.
+    """
+    if block_means.ndim != 2:
+        raise FeatureError(
+            f"expected a (n, D) matrix, got shape {block_means.shape}"
+        )
+    row_min = block_means.min(axis=1, keepdims=True)
+    row_max = block_means.max(axis=1, keepdims=True)
+    span = row_max - row_min
+    flat = span[:, 0] < _FLAT_EPSILON
+    safe_span = np.where(span < _FLAT_EPSILON, 1.0, span)
+    normalized = (block_means - row_min) / safe_span
+    if flat.any():
+        normalized[flat] = 0.5
+    return normalized

@@ -1,0 +1,91 @@
+"""End-to-end frame fingerprinting.
+
+:class:`FingerprintExtractor` wires together the Section III-A stages:
+block averaging (compressed- or pixel-domain), Eq. (1) normalisation, and
+d-of-D coefficient selection. Its output is the ``(n, d)`` feature matrix
+consumed by the grid-pyramid partitioner; a convenience method goes all the
+way to 1-D cell ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.gop import EncodedVideo
+from repro.config import FingerprintConfig
+from repro.features.dc_extract import (
+    block_means_from_encoded,
+    block_means_from_frames,
+)
+from repro.features.normalize import normalize_features
+from repro.features.select import CoefficientSelector
+from repro.partition.gridpyramid import GridPyramidPartitioner
+from repro.video.clip import VideoClip
+
+__all__ = ["FingerprintExtractor"]
+
+
+@dataclass(frozen=True)
+class FingerprintExtractor:
+    """Frame -> normalised d-dimensional feature vector -> cell id.
+
+    Parameters
+    ----------
+    config:
+        Block grid, ``d`` and ``u`` (see :class:`repro.config.
+        FingerprintConfig`).
+    strategy:
+        Coefficient-selection strategy passed to
+        :class:`~repro.features.select.CoefficientSelector`.
+    """
+
+    config: FingerprintConfig = field(default_factory=FingerprintConfig)
+    strategy: str = "spread"
+
+    @property
+    def selector(self) -> CoefficientSelector:
+        """The d-of-D selector implied by the configuration."""
+        return CoefficientSelector(
+            d=self.config.d,
+            num_blocks=self.config.num_blocks,
+            strategy=self.strategy,
+            grid_rows=self.config.block_rows,
+            grid_cols=self.config.block_cols,
+        )
+
+    @property
+    def partitioner(self) -> GridPyramidPartitioner:
+        """The grid-pyramid partitioner implied by the configuration."""
+        return GridPyramidPartitioner(d=self.config.d, u=self.config.u)
+
+    def features_from_frames(self, frames: np.ndarray) -> np.ndarray:
+        """Raw frames -> ``(n, d)`` normalised features (pixel path)."""
+        block_means = block_means_from_frames(
+            frames, self.config.block_rows, self.config.block_cols
+        )
+        return self.selector.apply(normalize_features(block_means))
+
+    def features_from_clip(self, clip: VideoClip) -> np.ndarray:
+        """Clip -> ``(n, d)`` normalised features (pixel path)."""
+        return self.features_from_frames(clip.frames)
+
+    def features_from_encoded(self, encoded: EncodedVideo) -> np.ndarray:
+        """Bitstream -> per-key-frame features via the partial decoder."""
+        block_means = block_means_from_encoded(
+            encoded, self.config.block_rows, self.config.block_cols
+        )
+        return self.selector.apply(normalize_features(block_means))
+
+    def cell_ids_from_frames(self, frames: np.ndarray) -> np.ndarray:
+        """Raw frames -> 1-D grid-pyramid cell ids (the frame signature)."""
+        return self.partitioner.cell_ids(self.features_from_frames(frames))
+
+    def cell_ids_from_clip(self, clip: VideoClip) -> np.ndarray:
+        """Clip -> 1-D grid-pyramid cell ids."""
+        return self.cell_ids_from_frames(clip.frames)
+
+    def cell_ids_from_encoded(self, encoded: EncodedVideo) -> np.ndarray:
+        """Bitstream -> per-key-frame cell ids via the partial decoder."""
+        return self.partitioner.cell_ids(self.features_from_encoded(encoded))

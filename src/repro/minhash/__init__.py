@@ -1,0 +1,37 @@
+"""Approximate min-wise hashing over frame-signature sets (Section IV).
+
+A video (sub)sequence, reduced to its set of grid-pyramid cell ids, is
+sketched by ``K`` independent universal hash functions: the sketch is the
+vector of per-function minimum hash values. Two properties carry the whole
+streaming design:
+
+* the fraction of coordinate-wise equal values between two sketches is an
+  unbiased estimator of the Jaccard similarity (Definition 2);
+* the sketch of a concatenation is the coordinate-wise **min** of the
+  parts' sketches (the paper's Property 1), enabling bottom-up candidate
+  construction from basic windows.
+"""
+
+from repro.minhash.bottomk import BottomKFamily, BottomKSketch
+from repro.minhash.family import MinHashFamily
+from repro.minhash.sketch import Sketch
+from repro.minhash.theory import (
+    estimator_stddev,
+    false_negative_probability,
+    false_positive_probability,
+    required_hashes,
+)
+from repro.minhash.windows import BasicWindow, iter_basic_windows
+
+__all__ = [
+    "BasicWindow",
+    "BottomKFamily",
+    "BottomKSketch",
+    "MinHashFamily",
+    "Sketch",
+    "estimator_stddev",
+    "false_negative_probability",
+    "false_positive_probability",
+    "iter_basic_windows",
+    "required_hashes",
+]

@@ -1,0 +1,98 @@
+"""Basic windows: the unit of streaming sketch construction.
+
+The stream of per-key-frame cell ids is chopped into fixed-length *basic
+windows* of ``w`` key frames (Section IV-A). Each window carries its
+distinct cell-id set and its K-min-hash sketch; candidate sequences are
+combinations of consecutive basic windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import SketchError
+from repro.minhash.family import MinHashFamily
+from repro.minhash.sketch import Sketch
+
+__all__ = ["BasicWindow", "iter_basic_windows"]
+
+
+@dataclass(frozen=True)
+class BasicWindow:
+    """One basic window of the stream.
+
+    Attributes
+    ----------
+    index:
+        Zero-based window position in the stream.
+    start_frame:
+        Key-frame index of the window's first frame.
+    num_frames:
+        Number of key frames in the window (the last window of a stream
+        may be shorter than ``w``).
+    cell_ids:
+        The window's distinct frame-signature cell ids (sorted).
+    sketch:
+        K-min-hash sketch of :attr:`cell_ids`.
+    """
+
+    index: int
+    start_frame: int
+    num_frames: int
+    cell_ids: np.ndarray = field(repr=False)
+    sketch: Sketch = field(repr=False)
+
+    @property
+    def end_frame(self) -> int:
+        """Key-frame index one past the window's last frame."""
+        return self.start_frame + self.num_frames
+
+
+def iter_basic_windows(
+    cell_ids: Sequence[int] | np.ndarray,
+    window_frames: int,
+    family: MinHashFamily,
+    drop_partial: bool = False,
+) -> Iterator[BasicWindow]:
+    """Chop a cell-id stream into sketched basic windows.
+
+    Parameters
+    ----------
+    cell_ids:
+        The per-key-frame signature stream.
+    window_frames:
+        ``w`` expressed in key frames.
+    family:
+        Hash family used for all sketches (queries must share it).
+    drop_partial:
+        When True, a trailing window shorter than ``w`` is discarded;
+        otherwise it is emitted with its true (shorter) ``num_frames``.
+
+    Yields
+    ------
+    BasicWindow
+        In stream order, with consecutive ``index`` values from 0.
+    """
+    if window_frames <= 0:
+        raise SketchError(f"window_frames must be positive, got {window_frames}")
+    ids = np.asarray(cell_ids, dtype=np.int64)
+    if ids.ndim != 1:
+        raise SketchError(f"cell ids must be 1-D, got shape {ids.shape}")
+    total = ids.shape[0]
+    window_index = 0
+    for start in range(0, total, window_frames):
+        chunk = ids[start : start + window_frames]
+        if chunk.shape[0] < window_frames and drop_partial:
+            return
+        distinct = np.unique(chunk)
+        yield BasicWindow(
+            index=window_index,
+            start_frame=start,
+            num_frames=int(chunk.shape[0]),
+            cell_ids=distinct,
+            sketch=family.sketch(distinct),
+        )
+        window_index += 1

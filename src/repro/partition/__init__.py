@@ -1,0 +1,20 @@
+"""Feature-space partitioning (paper Section III-A, Figure 1).
+
+A normalised d-dimensional feature vector is reduced to a single integer
+*cell id* in two nested steps: a grid partition splits each dimension into
+``u`` equal slices (``u^d`` grid cells), and within every grid cell the
+Pyramid-Technique of Berchtold et al. splits the cell into ``2d`` pyramids
+whose apex is the cell centre. The combined id is
+
+    ``id = 2 d * O_g(f) + O_p(f)``
+
+giving ``2 d u^d`` cells. The pyramid component is what makes the signature
+robust: small coefficient perturbations change the pyramid number only when
+they flip which dimension deviates most from the cell centre.
+"""
+
+from repro.partition.grid import GridPartitioner
+from repro.partition.gridpyramid import GridPyramidPartitioner
+from repro.partition.pyramid import pyramid_orders
+
+__all__ = ["GridPartitioner", "GridPyramidPartitioner", "pyramid_orders"]

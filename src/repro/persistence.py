@@ -1,0 +1,117 @@
+"""Saving and loading query subscriptions.
+
+A monitoring deployment sketches its query videos once ("offline", as
+the paper puts it) and then runs for days; re-fingerprinting hundreds of
+clips on every restart would be wasteful. This module persists a
+:class:`~repro.core.query.QuerySet` — cell-id sets, frame counts, labels
+and the hash-family parameters — to a single ``.npz`` file, and restores
+it with sketches recomputed from the (exactly preserved) cell ids under
+the same family, so a reloaded set is bit-for-bit equivalent to the
+original.
+
+The file embeds a format version; loading a future or corrupted file
+fails loudly instead of mis-detecting quietly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.core.query import Query, QuerySet
+from repro.errors import ReproError
+from repro.minhash.family import MinHashFamily
+
+__all__ = ["PersistenceError", "load_query_set", "save_query_set"]
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ReproError):
+    """A query-set file is missing, corrupt or from an unknown version."""
+
+
+def save_query_set(
+    queries: QuerySet, path: Union[str, pathlib.Path]
+) -> None:
+    """Write a query set (and its family parameters) to ``path``.
+
+    The ``.npz`` holds, per query: id, label, key-frame count and the
+    distinct cell-id array. Sketch values are *not* stored — they are a
+    pure function of (cell ids, family) and recomputing them on load
+    keeps the file format independent of the sketch layout.
+    """
+    path = pathlib.Path(path)
+    qids = queries.query_ids
+    payload = {
+        "format_version": np.asarray([FORMAT_VERSION]),
+        "family_num_hashes": np.asarray([queries.family.num_hashes]),
+        "family_seed": np.asarray([queries.family.seed]),
+        "family_prime": np.asarray([queries.family.prime]),
+        "qids": np.asarray(qids, dtype=np.int64),
+        "num_frames": np.asarray(
+            [queries.get(qid).num_frames for qid in qids], dtype=np.int64
+        ),
+        "labels": np.asarray(
+            [queries.get(qid).label for qid in qids], dtype=object
+        ),
+    }
+    for qid in qids:
+        payload[f"cells_{qid}"] = queries.get(qid).cell_ids
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload, allow_pickle=True)
+
+
+def load_query_set(path: Union[str, pathlib.Path]) -> QuerySet:
+    """Restore a query set saved by :func:`save_query_set`.
+
+    Raises
+    ------
+    PersistenceError
+        If the file is unreadable, structurally incomplete or written by
+        an unknown format version.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no query-set file at {path}")
+    try:
+        archive = np.load(path, allow_pickle=True)
+    except Exception as error:  # zipfile/format errors vary by numpy
+        raise PersistenceError(f"cannot read query-set file {path}: {error}")
+
+    try:
+        version = int(archive["format_version"][0])
+        if version != FORMAT_VERSION:
+            raise PersistenceError(
+                f"query-set file {path} has format version {version}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        family = MinHashFamily(
+            num_hashes=int(archive["family_num_hashes"][0]),
+            seed=int(archive["family_seed"][0]),
+            prime=int(archive["family_prime"][0]),
+        )
+        qids = archive["qids"]
+        num_frames = archive["num_frames"]
+        labels = archive["labels"]
+        queries = []
+        for position, qid in enumerate(qids):
+            cell_ids = archive[f"cells_{int(qid)}"]
+            queries.append(
+                Query(
+                    qid=int(qid),
+                    cell_ids=np.asarray(cell_ids, dtype=np.int64),
+                    num_frames=int(num_frames[position]),
+                    sketch=family.sketch(cell_ids),
+                    label=str(labels[position]),
+                )
+            )
+    except PersistenceError:
+        raise
+    except KeyError as error:
+        raise PersistenceError(
+            f"query-set file {path} is missing field {error}"
+        )
+    return QuerySet(queries, family)

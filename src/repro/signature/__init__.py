@@ -1,0 +1,15 @@
+"""Bit-vector signatures of sketches (paper Section V-A/B).
+
+When a candidate sketch is compared against a query sketch, only the
+*relationships* (>, =, <) between corresponding hash values matter, never
+the values themselves — and the relationship of a min-merge is a pure
+function of the parts' relationships. Encoding the K relationships into a
+2K-bit vector turns sketch combination into a bitwise OR and similarity
+into two population counts (Lemma 1), and admits the monotone pruning rule
+of Lemma 2 ("< positions only ever grow").
+"""
+
+from repro.signature.bitsig import BitSignature
+from repro.signature.pruning import lemma2_bound, violates_lemma2
+
+__all__ = ["BitSignature", "lemma2_bound", "violates_lemma2"]

@@ -1,0 +1,37 @@
+"""Lemma 2 pruning of hopeless (candidate, query) pairs.
+
+The ``<`` relations of a signature are monotone under combination: once a
+candidate's min at hash ``r`` drops below the query's, no later window can
+raise it again. A matching copy needs at least ``K·δ`` equal positions, so
+at most ``K(1−δ)`` positions may be ``<``; a signature whose ``n1``
+exceeds that bound can never recover, and — as argued in the paper — every
+longer candidate built on top of it inherits at least as many ``<``
+positions and can be discarded with it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SignatureError
+from repro.signature.bitsig import BitSignature
+
+__all__ = ["lemma2_bound", "violates_lemma2"]
+
+
+def lemma2_bound(num_hashes: int, threshold: float) -> int:
+    """The largest admissible ``n1``: ``floor(K (1 − δ))``.
+
+    A tiny epsilon guards against floating point making ``K(1−δ)`` land
+    just below an exact integer (e.g. K=800, δ=0.7 → 240.00000000000003).
+    """
+    if num_hashes <= 0:
+        raise SignatureError(f"num_hashes must be positive, got {num_hashes}")
+    if not 0.0 <= threshold <= 1.0:
+        raise SignatureError(f"threshold must be in [0, 1], got {threshold}")
+    return math.floor(num_hashes * (1.0 - threshold) + 1e-9)
+
+
+def violates_lemma2(signature: BitSignature, threshold: float) -> bool:
+    """Whether the signature can be pruned (``n1 > K(1−δ)``)."""
+    return signature.n1 > lemma2_bound(signature.num_hashes, threshold)

@@ -1,0 +1,28 @@
+"""Shared low-level utilities: seeding, bit operations, timing, statistics."""
+
+from repro.utils.bitops import bit_length_words, count_ones, count_zeros_in_low_bits
+from repro.utils.rng import derive_seed, make_rng
+from repro.utils.stats import RunningStats, mean, percentile
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_type,
+)
+
+__all__ = [
+    "RunningStats",
+    "Stopwatch",
+    "bit_length_words",
+    "count_ones",
+    "count_zeros_in_low_bits",
+    "derive_seed",
+    "make_rng",
+    "mean",
+    "percentile",
+    "require",
+    "require_in_range",
+    "require_positive",
+    "require_type",
+]

@@ -1,0 +1,116 @@
+"""Small statistics helpers for the evaluation harness.
+
+The memory experiments (Fig. 10) report the *average number of bit
+signatures maintained* over the run of a stream. :class:`RunningStats`
+accumulates that average in O(1) memory, plus min/max for sanity reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["RunningStats", "mean", "percentile"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises :class:`ValueError` on an empty iterable."""
+    total = 0.0
+    count = 0
+    for value in values:
+        total += value
+        count += 1
+    if count == 0:
+        raise ValueError("mean of an empty iterable is undefined")
+    return total / count
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` at ``q`` in [0, 100].
+
+    Implemented directly (rather than via numpy) so that the evaluation
+    harness works on plain Python floats without array conversion.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence is undefined")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+class RunningStats:
+    """Welford-style accumulator for mean/variance/min/max of a sample.
+
+    Example
+    -------
+    >>> rs = RunningStats()
+    >>> for x in (1.0, 2.0, 3.0):
+    ...     rs.add(x)
+    >>> rs.mean
+    2.0
+    >>> rs.count
+    3
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean; 0.0 when no observations have been added."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance; 0.0 with fewer than two observations."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Unbiased sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation; +inf when empty."""
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation; -inf when empty."""
+        return self._max
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStats(count={self.count}, mean={self.mean:.4g}, "
+            f"min={self._min:.4g}, max={self._max:.4g})"
+        )

@@ -1,0 +1,70 @@
+"""Wall-clock timing helpers used by the evaluation harness.
+
+The paper reports "processing time including partial decoding and query
+processing time ... from the arrival of the first frame until the last
+frame". :class:`Stopwatch` accumulates exactly that: it can be paused
+around workload-generation code so that only detector work is measured.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """An accumulating, pausable wall-clock timer.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     do_measured_work()     # doctest: +SKIP
+    >>> sw.elapsed  # doctest: +SKIP
+    0.1234
+    """
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._started_at: float | None = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently accumulating time."""
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total measured seconds, including a currently running span."""
+        total = self._accumulated
+        if self._started_at is not None:
+            total += time.perf_counter() - self._started_at
+        return total
+
+    def start(self) -> None:
+        """Begin (or resume) timing. Starting twice is an error."""
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch is already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Pause timing and return total elapsed seconds so far."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self._accumulated += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._accumulated
+
+    def reset(self) -> None:
+        """Zero the accumulated time; the stopwatch must be stopped."""
+        if self._started_at is not None:
+            raise RuntimeError("cannot reset a running stopwatch")
+        self._accumulated = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

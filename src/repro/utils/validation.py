@@ -1,0 +1,41 @@
+"""Eager argument validation helpers.
+
+Configuration objects in this library validate on construction so that a
+mis-configured experiment fails immediately rather than thousands of frames
+into a stream. These helpers keep the validation sites one-liners while
+producing uniform, descriptive error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Type
+
+from repro.errors import ConfigError
+
+__all__ = ["require", "require_in_range", "require_positive", "require_type"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`~repro.errors.ConfigError` unless ``condition`` holds."""
+    if not condition:
+        raise ConfigError(message)
+
+
+def require_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+
+
+def require_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Require ``low <= value <= high`` (inclusive on both ends)."""
+    if not low <= value <= high:
+        raise ConfigError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_type(name: str, value: Any, expected: Type) -> None:
+    """Require ``isinstance(value, expected)``."""
+    if not isinstance(value, expected):
+        raise ConfigError(
+            f"{name} must be a {expected.__name__}, got {type(value).__name__}"
+        )

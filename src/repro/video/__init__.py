@@ -1,0 +1,65 @@
+"""Video substrate: clip model, synthetic content, editing attacks.
+
+The paper evaluates on real videos downloaded from Google Video; offline we
+substitute a procedural content generator (:mod:`repro.video.synth`) whose
+frames have the statistical properties the detector actually consumes —
+shot-coherent block-luminance patterns that decorrelate across shots and
+across clips. Every editing attack used to build the paper's VS2 stream is
+implemented in :mod:`repro.video.edits` and :mod:`repro.video.reorder`.
+"""
+
+from repro.video.clip import VideoClip, concat_clips
+from repro.video.color import (
+    ColorClip,
+    chroma_shift,
+    colorize,
+    luma_leakage,
+    rgb_to_yuv,
+    yuv_to_rgb,
+)
+from repro.video.edits import (
+    EditPipeline,
+    adjust_brightness,
+    adjust_contrast,
+    change_resolution,
+    color_shift,
+    add_noise,
+    recompress,
+    resample_fps,
+)
+from repro.video.formats import NTSC, PAL, VideoFormat
+from repro.video.reorder import reorder_at_shots, reorder_segments, split_into_segments
+from repro.video.resize import bilinear_resize, bilinear_resize_stack
+from repro.video.shots import detect_shot_boundaries, shot_spans
+from repro.video.synth import ClipSynthesizer, SynthesisConfig
+
+__all__ = [
+    "ClipSynthesizer",
+    "ColorClip",
+    "EditPipeline",
+    "NTSC",
+    "PAL",
+    "SynthesisConfig",
+    "VideoClip",
+    "VideoFormat",
+    "add_noise",
+    "adjust_brightness",
+    "adjust_contrast",
+    "bilinear_resize",
+    "bilinear_resize_stack",
+    "change_resolution",
+    "chroma_shift",
+    "color_shift",
+    "colorize",
+    "concat_clips",
+    "detect_shot_boundaries",
+    "luma_leakage",
+    "recompress",
+    "reorder_at_shots",
+    "reorder_segments",
+    "resample_fps",
+    "rgb_to_yuv",
+    "shot_spans",
+    "split_into_segments",
+    "yuv_to_rgb",
+]

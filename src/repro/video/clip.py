@@ -1,0 +1,125 @@
+"""The in-memory video clip model.
+
+A :class:`VideoClip` is an immutable-by-convention stack of grayscale
+(luminance) frames plus a frame rate and a label. Luminance is stored as
+float64 in [0, 255]; editing operations return new clips and never mutate
+their input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import VideoError
+
+__all__ = ["VideoClip", "concat_clips"]
+
+
+@dataclass(frozen=True)
+class VideoClip:
+    """A grayscale video clip.
+
+    Attributes
+    ----------
+    frames:
+        Array of shape ``(num_frames, height, width)``, luminance in
+        [0, 255] as float64.
+    fps:
+        Nominal frame rate (frames per second).
+    label:
+        Free-form identifier, e.g. ``"clip-042"`` or ``"vs2-stream"``.
+    """
+
+    frames: np.ndarray = field(repr=False)
+    fps: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.frames, np.ndarray) or self.frames.ndim != 3:
+            raise VideoError("frames must be a (n, h, w) numpy array")
+        if self.frames.shape[0] == 0:
+            raise VideoError("a clip must contain at least one frame")
+        if self.fps <= 0:
+            raise VideoError(f"fps must be positive, got {self.fps}")
+        if float(self.frames.min()) < -1e-6 or float(self.frames.max()) > 255.0 + 1e-6:
+            raise VideoError("luminance values must lie in [0, 255]")
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames in the clip."""
+        return int(self.frames.shape[0])
+
+    @property
+    def height(self) -> int:
+        """Frame height in pixels."""
+        return int(self.frames.shape[1])
+
+    @property
+    def width(self) -> int:
+        """Frame width in pixels."""
+        return int(self.frames.shape[2])
+
+    @property
+    def duration(self) -> float:
+        """Clip length in seconds."""
+        return self.num_frames / self.fps
+
+    def frame_at(self, index: int) -> np.ndarray:
+        """Return frame ``index`` (supports negative indexing)."""
+        return self.frames[index]
+
+    def subclip(self, start: int, stop: int) -> "VideoClip":
+        """Return the frame range ``[start, stop)`` as a new clip.
+
+        ``start`` and ``stop`` are frame indices; the range must be
+        non-empty and inside the clip.
+        """
+        if not 0 <= start < stop <= self.num_frames:
+            raise VideoError(
+                f"subclip [{start}, {stop}) is outside clip of "
+                f"{self.num_frames} frames"
+            )
+        return VideoClip(
+            frames=self.frames[start:stop].copy(),
+            fps=self.fps,
+            label=f"{self.label}[{start}:{stop}]",
+        )
+
+    def with_frames(self, frames: np.ndarray, label: str | None = None) -> "VideoClip":
+        """Return a clip with replaced frames (same fps, optional relabel)."""
+        return VideoClip(frames=frames, fps=self.fps, label=label or self.label)
+
+    def with_label(self, label: str) -> "VideoClip":
+        """Return the same clip under a new label (frames are shared)."""
+        return VideoClip(frames=self.frames, fps=self.fps, label=label)
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+    def __repr__(self) -> str:
+        return (
+            f"VideoClip(label={self.label!r}, frames={self.num_frames}, "
+            f"size={self.width}x{self.height}, fps={self.fps:g})"
+        )
+
+
+def concat_clips(clips: Sequence[VideoClip], label: str = "") -> VideoClip:
+    """Concatenate clips into one; all must share frame size and fps."""
+    if not clips:
+        raise VideoError("cannot concatenate an empty clip list")
+    first = clips[0]
+    for clip in clips[1:]:
+        if (clip.height, clip.width) != (first.height, first.width):
+            raise VideoError(
+                f"frame size mismatch: {clip.label!r} is "
+                f"{clip.width}x{clip.height}, expected {first.width}x{first.height}"
+            )
+        if abs(clip.fps - first.fps) > 1e-9:
+            raise VideoError(
+                f"fps mismatch: {clip.label!r} has {clip.fps}, expected {first.fps}"
+            )
+    frames = np.concatenate([clip.frames for clip in clips], axis=0)
+    return VideoClip(frames=frames, fps=first.fps, label=label or "concat")

@@ -1,0 +1,210 @@
+"""Color video support: RGB clips, BT.601 conversion, chroma attacks.
+
+The detector consumes only the luminance plane (MPEG DC coefficients of
+Y blocks), so the main pipeline models video as grayscale. The VS2
+"color alteration" attack, however, is fundamentally a *chroma*
+operation — and the grayscale model has to assume how much of it leaks
+into Y (`repro.video.edits._COLOR_LUMA_LEAKAGE`). This module removes
+the assumption: it provides genuine RGB clips, the BT.601 luma/chroma
+transform, and a channel-gain color-balance attack, so the leakage can
+be *measured* instead of postulated (see ``tests/test_color.py``).
+
+The pieces also make end-to-end color workflows possible: synthesise a
+gray clip, :func:`colorize` it with smooth chroma fields, attack the
+colors, and hand :meth:`ColorClip.luminance` back to the standard
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import VideoError
+from repro.utils.rng import make_rng
+from repro.video.clip import VideoClip
+from repro.video.resize import bilinear_resize
+
+__all__ = [
+    "ColorClip",
+    "chroma_shift",
+    "colorize",
+    "luma_leakage",
+    "rgb_to_yuv",
+    "yuv_to_rgb",
+]
+
+#: BT.601 luma weights (the Y' of Y'CbCr, the MPEG-1 colour space).
+_LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+
+def rgb_to_yuv(rgb: np.ndarray) -> np.ndarray:
+    """BT.601 full-range RGB -> YUV. Shape ``(..., 3)`` preserved.
+
+    Y in [0, 255]; U, V centred on 0 in roughly [-128, 128].
+    """
+    if rgb.shape[-1] != 3:
+        raise VideoError(f"expected (..., 3) RGB, got shape {rgb.shape}")
+    r = rgb[..., 0]
+    g = rgb[..., 1]
+    b = rgb[..., 2]
+    y = 0.299 * r + 0.587 * g + 0.114 * b
+    u = 0.492 * (b - y)
+    v = 0.877 * (r - y)
+    return np.stack([y, u, v], axis=-1)
+
+
+def yuv_to_rgb(yuv: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`rgb_to_yuv` (values not clipped)."""
+    if yuv.shape[-1] != 3:
+        raise VideoError(f"expected (..., 3) YUV, got shape {yuv.shape}")
+    y = yuv[..., 0]
+    u = yuv[..., 1]
+    v = yuv[..., 2]
+    r = y + v / 0.877
+    b = y + u / 0.492
+    g = (y - 0.299 * r - 0.114 * b) / 0.587
+    return np.stack([r, g, b], axis=-1)
+
+
+@dataclass(frozen=True)
+class ColorClip:
+    """An RGB video clip.
+
+    Attributes
+    ----------
+    frames:
+        Array of shape ``(n, height, width, 3)``, RGB in [0, 255].
+    fps:
+        Frame rate.
+    label:
+        Identifier.
+    """
+
+    frames: np.ndarray = field(repr=False)
+    fps: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.frames, np.ndarray) or self.frames.ndim != 4:
+            raise VideoError("frames must be a (n, h, w, 3) numpy array")
+        if self.frames.shape[-1] != 3:
+            raise VideoError(
+                f"last axis must be RGB, got {self.frames.shape[-1]} channels"
+            )
+        if self.frames.shape[0] == 0:
+            raise VideoError("a clip must contain at least one frame")
+        if self.fps <= 0:
+            raise VideoError(f"fps must be positive, got {self.fps}")
+        low = float(self.frames.min())
+        high = float(self.frames.max())
+        if low < -1e-6 or high > 255.0 + 1e-6:
+            raise VideoError("RGB values must lie in [0, 255]")
+
+    @property
+    def num_frames(self) -> int:
+        """Number of frames."""
+        return int(self.frames.shape[0])
+
+    def luminance(self) -> VideoClip:
+        """The BT.601 luma plane as a grayscale :class:`VideoClip` —
+        exactly what the compressed-domain fingerprint sees."""
+        y = np.clip(self.frames @ _LUMA_WEIGHTS, 0.0, 255.0)
+        return VideoClip(frames=y, fps=self.fps, label=f"{self.label}+Y")
+
+
+def colorize(clip: VideoClip, seed: int = 0, saturation: float = 40.0) -> ColorClip:
+    """Invent plausible chroma for a grayscale clip.
+
+    Chroma is piecewise-smooth in space (a coarse random UV field,
+    bilinearly upsampled, constant over time) — matching how natural
+    scenes carry lower-frequency chroma than luma. The result's
+    luminance equals the input clip up to clipping.
+    """
+    if saturation < 0:
+        raise VideoError(f"saturation must be non-negative, got {saturation}")
+    rng = make_rng(seed, f"colorize:{clip.label}")
+    coarse_u = rng.uniform(-saturation, saturation, size=(4, 4))
+    coarse_v = rng.uniform(-saturation, saturation, size=(4, 4))
+    u = bilinear_resize(coarse_u, clip.height, clip.width)
+    v = bilinear_resize(coarse_v, clip.height, clip.width)
+    yuv = np.stack(
+        [
+            clip.frames,
+            np.broadcast_to(u, clip.frames.shape),
+            np.broadcast_to(v, clip.frames.shape),
+        ],
+        axis=-1,
+    )
+    rgb = yuv_to_rgb(yuv)
+    # Chroma carries no luma weight, so scaling the chroma component
+    # (rgb - y) per pixel keeps Y exact while folding out-of-gamut
+    # colours back inside [0, 255] — desaturate instead of clip, the
+    # way a broadcast-legal encoder does.
+    y = clip.frames[..., np.newaxis]
+    chroma = rgb - y
+    with np.errstate(divide="ignore", invalid="ignore"):
+        room_high = np.where(chroma > 0, (255.0 - y) / chroma, np.inf)
+        room_low = np.where(chroma < 0, (0.0 - y) / chroma, np.inf)
+    scale = np.minimum(1.0, np.minimum(room_high, room_low).min(axis=-1))
+    rgb = y + chroma * scale[..., np.newaxis]
+    rgb = np.clip(rgb, 0.0, 255.0)  # guard float round-off only
+    return ColorClip(frames=rgb, fps=clip.fps, label=f"{clip.label}+rgb")
+
+
+def chroma_shift(
+    clip: ColorClip,
+    strength: float,
+    seed: int = 0,
+    luma_preserving: bool = True,
+) -> ColorClip:
+    """A color-balance alteration: per-channel gains of magnitude
+    ``strength``.
+
+    Two fidelities of the attack:
+
+    * ``luma_preserving=True`` (default) — after applying the gains,
+      each pixel's RGB is rescaled so its BT.601 luma is *exactly* the
+      original. This is what a color edit on MPEG's own Y'CbCr
+      representation does (Cb/Cr change, Y' untouched) and what a
+      colorist's "change the color, not the brightness" means. The only
+      residual luma movement comes from gamut clipping.
+    * ``luma_preserving=False`` — the raw physics: channel gains with
+      only the *global* luma-weighted gain normalised to 1. Per-pixel
+      luma then moves with the local channel mix; use
+      :func:`luma_leakage` to measure by how much. This is the upper
+      bound an RGB-domain edit (one that never touches Y'CbCr) can leak.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise VideoError(f"strength must be in [0, 1], got {strength}")
+    rng = make_rng(seed, f"chroma-shift:{clip.label}")
+    gains = rng.uniform(1.0 - strength, 1.0 + strength, size=3)
+    # Re-normalise: the luma-weighted gain becomes exactly 1.
+    gains = gains / float(gains @ _LUMA_WEIGHTS)
+    shifted = clip.frames * gains
+    if luma_preserving:
+        y_original = clip.frames @ _LUMA_WEIGHTS
+        y_shifted = shifted @ _LUMA_WEIGHTS
+        ratio = np.where(y_shifted > 1e-9, y_original / np.maximum(y_shifted, 1e-9), 1.0)
+        shifted = shifted * ratio[..., np.newaxis]
+    shifted = np.clip(shifted, 0.0, 255.0)
+    return ColorClip(
+        frames=shifted, fps=clip.fps, label=f"{clip.label}+chroma{strength:g}"
+    )
+
+
+def luma_leakage(original: ColorClip, edited: ColorClip) -> float:
+    """Mean relative luminance change between two color clips.
+
+    The empirical counterpart of the grayscale model's
+    ``_COLOR_LUMA_LEAKAGE`` constant: how much of a chroma attack
+    reaches the plane the detector reads.
+    """
+    if original.frames.shape != edited.frames.shape:
+        raise VideoError("clips must share shape to compare leakage")
+    y_original = original.frames @ _LUMA_WEIGHTS
+    y_edited = edited.frames @ _LUMA_WEIGHTS
+    return float(
+        (np.abs(y_edited - y_original) / np.maximum(y_original, 1.0)).mean()
+    )

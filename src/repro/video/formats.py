@@ -1,0 +1,70 @@
+"""Broadcast video format descriptors.
+
+The paper's two streams use different broadcast formats: the inserted
+originals are NTSC (352x240 @ 29.97 fps) and VS2 re-compresses them as PAL
+(352x288 @ 25 fps). We keep the same aspect/fps relationships at a reduced
+spatial scale so the pure-Python codec stays fast; the *ratios* (NTSC/PAL
+frame-rate factor, resolution change) are what the resampling and resize
+attacks exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_positive
+
+__all__ = ["NTSC", "PAL", "VideoFormat"]
+
+
+@dataclass(frozen=True)
+class VideoFormat:
+    """A named (width, height, fps) triple.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label, e.g. ``"NTSC"``.
+    width, height:
+        Frame size in pixels.
+    fps:
+        Nominal frame rate.
+    """
+
+    name: str
+    width: int
+    height: int
+    fps: float
+
+    def __post_init__(self) -> None:
+        require_positive("width", self.width)
+        require_positive("height", self.height)
+        require_positive("fps", self.fps)
+
+    def scaled(self, factor: float) -> "VideoFormat":
+        """Return a spatially scaled variant (fps unchanged).
+
+        Sizes are rounded to the nearest multiple of 8 (the codec block
+        size) with a floor of 8 so the result is always encodable without
+        padding.
+        """
+        require_positive("factor", factor)
+
+        def _snap(value: int) -> int:
+            return max(8, round(value * factor / 8) * 8)
+
+        return VideoFormat(
+            name=f"{self.name}x{factor:g}",
+            width=_snap(self.width),
+            height=_snap(self.height),
+            fps=self.fps,
+        )
+
+
+#: NTSC as used by the paper's inserted shorts (352x240 @ 29.97 fps),
+#: reduced 4x spatially for the pure-Python codec.
+NTSC = VideoFormat(name="NTSC", width=88, height=64, fps=29.97)
+
+#: PAL as used by the paper's VS2 re-compression (352x288 @ 25 fps),
+#: reduced 4x spatially.
+PAL = VideoFormat(name="PAL", width=88, height=72, fps=25.0)

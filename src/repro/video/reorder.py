@@ -1,0 +1,100 @@
+"""Temporal re-ordering attack.
+
+The paper's VS2 stream "partition[s] the edited short videos into segments,
+reorder[s] these segments without affecting the contents". This module
+implements exactly that: split a clip into contiguous segments and emit
+them in a seeded random permutation. Set-based similarity (Definition 2)
+is invariant to this attack; the Seq and Warp baselines are not — which is
+the comparison Figures 13-15 make.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import VideoError
+from repro.utils.rng import make_rng
+from repro.video.clip import VideoClip, concat_clips
+
+__all__ = ["reorder_at_shots", "reorder_segments", "split_into_segments"]
+
+
+def split_into_segments(clip: VideoClip, num_segments: int) -> List[VideoClip]:
+    """Split a clip into ``num_segments`` contiguous, near-equal pieces."""
+    if num_segments <= 0:
+        raise VideoError(f"num_segments must be positive, got {num_segments}")
+    if num_segments > clip.num_frames:
+        raise VideoError(
+            f"cannot split {clip.num_frames} frames into {num_segments} segments"
+        )
+    boundaries = np.linspace(0, clip.num_frames, num_segments + 1).astype(int)
+    return [
+        clip.subclip(int(boundaries[i]), int(boundaries[i + 1]))
+        for i in range(num_segments)
+    ]
+
+
+def reorder_segments(
+    clip: VideoClip,
+    num_segments: int,
+    seed: int = 0,
+) -> Tuple[VideoClip, Tuple[int, ...]]:
+    """Reorder a clip's segments with a seeded non-identity permutation.
+
+    Returns
+    -------
+    (VideoClip, tuple of int)
+        The reordered clip and the permutation applied: output segment
+        ``k`` is input segment ``permutation[k]``. With a single segment
+        the identity is unavoidable and returned as-is.
+    """
+    segments = split_into_segments(clip, num_segments)
+    if num_segments == 1:
+        return clip.with_label(f"{clip.label}+reorder1"), (0,)
+    rng = make_rng(seed, f"reorder:{clip.label}")
+    permutation = rng.permutation(num_segments)
+    if np.array_equal(permutation, np.arange(num_segments)):
+        # Force a non-trivial shuffle so the attack is never a no-op.
+        permutation = np.roll(permutation, 1)
+    reordered = concat_clips(
+        [segments[int(p)] for p in permutation],
+        label=f"{clip.label}+reorder{num_segments}",
+    )
+    return reordered, tuple(int(p) for p in permutation)
+
+
+def reorder_at_shots(
+    clip: VideoClip,
+    seed: int = 0,
+    **shot_kwargs,
+) -> Tuple[VideoClip, Tuple[int, ...]]:
+    """Reorder a clip along its *detected shot* boundaries.
+
+    The paper's editors "reorder these segments without affecting the
+    contents" — i.e. they cut between shots. This variant segments the
+    clip with :func:`repro.video.shots.shot_spans` and shuffles the
+    shots; with fewer than two detected shots the clip is returned
+    unchanged (there is nothing content-preserving to reorder).
+
+    Returns
+    -------
+    (VideoClip, tuple of int)
+        The reordered clip and the shot permutation applied.
+    """
+    from repro.video.shots import shot_spans  # local: avoids cycle
+
+    spans = shot_spans(clip, **shot_kwargs)
+    if len(spans) < 2:
+        return clip.with_label(f"{clip.label}+shotreorder1"), (0,)
+    rng = make_rng(seed, f"shot-reorder:{clip.label}")
+    permutation = rng.permutation(len(spans))
+    if np.array_equal(permutation, np.arange(len(spans))):
+        permutation = np.roll(permutation, 1)
+    shots = [clip.subclip(start, stop) for start, stop in spans]
+    reordered = concat_clips(
+        [shots[int(p)] for p in permutation],
+        label=f"{clip.label}+shotreorder{len(spans)}",
+    )
+    return reordered, tuple(int(p) for p in permutation)

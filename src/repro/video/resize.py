@@ -1,0 +1,60 @@
+"""Bilinear image resizing, implemented from scratch with numpy.
+
+Used by the resolution-change attack (:func:`repro.video.edits.
+change_resolution`). Bilinear interpolation is separable; we gather the
+four neighbours with fancy indexing, so resizing a whole frame stack is a
+handful of vectorised operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import VideoError
+
+__all__ = ["bilinear_resize", "bilinear_resize_stack"]
+
+
+def _sample_grid(src_len: int, dst_len: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Source coordinates for resizing ``src_len`` -> ``dst_len`` samples.
+
+    Uses the half-pixel-centre convention (same as OpenCV's
+    ``INTER_LINEAR``), which keeps content centred rather than anchored to
+    the top-left corner.
+
+    Returns ``(low_index, high_index, fraction)`` arrays of length
+    ``dst_len``.
+    """
+    scale = src_len / dst_len
+    coords = (np.arange(dst_len) + 0.5) * scale - 0.5
+    coords = np.clip(coords, 0.0, src_len - 1.0)
+    low = np.floor(coords).astype(np.intp)
+    high = np.minimum(low + 1, src_len - 1)
+    frac = coords - low
+    return low, high, frac
+
+
+def bilinear_resize(frame: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Resize a single 2-D frame to ``(height, width)`` bilinearly."""
+    if frame.ndim != 2:
+        raise VideoError(f"expected a 2-D frame, got ndim={frame.ndim}")
+    return bilinear_resize_stack(frame[np.newaxis], height, width)[0]
+
+
+def bilinear_resize_stack(frames: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Resize a ``(n, h, w)`` frame stack to ``(n, height, width)``."""
+    if frames.ndim != 3:
+        raise VideoError(f"expected (n, h, w) frames, got shape {frames.shape}")
+    if height <= 0 or width <= 0:
+        raise VideoError(f"target size must be positive, got {height}x{width}")
+    src = frames.astype(np.float64)
+    row_lo, row_hi, row_frac = _sample_grid(src.shape[1], height)
+    col_lo, col_hi, col_frac = _sample_grid(src.shape[2], width)
+
+    top = src[:, row_lo, :]
+    bottom = src[:, row_hi, :]
+    rows = top + (bottom - top) * row_frac[np.newaxis, :, np.newaxis]
+
+    left = rows[:, :, col_lo]
+    right = rows[:, :, col_hi]
+    return left + (right - left) * col_frac[np.newaxis, np.newaxis, :]

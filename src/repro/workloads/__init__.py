@@ -1,0 +1,22 @@
+"""Workload construction: the "doctored" evaluation streams.
+
+Mirrors the paper's Section VI setup: a library of short clips (the
+continuous queries) is inserted at random positions into a long base
+video. ``VS1`` inserts the originals untouched; ``VS2`` first runs each
+clip through the full attack pipeline — brightness/color alteration,
+noise, resolution change, NTSC→PAL re-timing and segment reordering —
+before insertion. Every insertion's position is recorded as ground truth
+for precision/recall scoring.
+"""
+
+from repro.workloads.doctor import DoctoredStream, StreamDoctor
+from repro.workloads.groundtruth import GroundTruth, Occurrence
+from repro.workloads.library import ClipLibrary
+
+__all__ = [
+    "ClipLibrary",
+    "DoctoredStream",
+    "GroundTruth",
+    "Occurrence",
+    "StreamDoctor",
+]

@@ -1,0 +1,286 @@
+"""Stream doctoring: splice (possibly attacked) clips into a base video.
+
+Reproduces the paper's stream construction: the short clips are inserted
+at random, non-overlapping positions into synthetic base ("film") footage,
+and every insertion's span is recorded as ground truth. Two standard
+recipes are provided:
+
+* :meth:`StreamDoctor.build_vs1` — originals inserted untouched;
+* :meth:`StreamDoctor.build_vs2` — each clip is brightness/color-altered,
+  noised, resized, re-timed to the PAL rate and segment-reordered first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import ScaleProfile
+from repro.errors import WorkloadError
+from repro.utils.rng import make_rng
+from repro.video.clip import VideoClip, concat_clips
+from repro.video.edits import EditPipeline
+from repro.video.formats import NTSC, PAL, VideoFormat
+from repro.video.reorder import reorder_segments
+from repro.video.synth import ClipSynthesizer, SynthesisConfig
+from repro.workloads.groundtruth import GroundTruth, Occurrence
+from repro.workloads.library import ClipLibrary
+
+__all__ = ["DoctoredStream", "StreamDoctor"]
+
+#: Minimum filler run between insertions, in seconds.
+_MIN_GAP_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class DoctoredStream:
+    """A built evaluation stream.
+
+    Attributes
+    ----------
+    clip:
+        The full stream as one clip (key-frame cadence).
+    ground_truth:
+        Every insertion's query id and key-frame span.
+    keyframes_per_second:
+        Cadence of :attr:`clip` (frames are key frames).
+    name:
+        ``"VS1"``, ``"VS2"`` or a custom label.
+    """
+
+    clip: VideoClip = field(repr=False)
+    ground_truth: GroundTruth
+    keyframes_per_second: float
+    name: str
+
+
+class StreamDoctor:
+    """Builds doctored streams from a clip library.
+
+    Parameters
+    ----------
+    profile:
+        Stream length, key-frame cadence.
+    seed:
+        Seed for insertion layout and per-clip attack draws.
+    """
+
+    def __init__(self, profile: ScaleProfile, seed: int = 0) -> None:
+        self.profile = profile
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # public recipes
+    # ------------------------------------------------------------------
+
+    def build_vs1(self, library: ClipLibrary, name: str = "VS1") -> DoctoredStream:
+        """Insert the original clips untouched (the paper's VS1)."""
+        inserts = [(qid, clip) for qid, clip in library]
+        return self._assemble(inserts, target_format=NTSC, name=name)
+
+    def build_vs2(
+        self,
+        library: ClipLibrary,
+        name: str = "VS2",
+        noise_sigma: float = 4.0,
+        reorder_min_segments: int = 3,
+        reorder_max_segments: int = 8,
+        recompress_quality: Optional[int] = None,
+        reorder_mode: str = "equal",
+        chroma_domain: bool = False,
+    ) -> DoctoredStream:
+        """Attack every clip before insertion (the paper's VS2).
+
+        Attacks per clip, all seeded: 20-50 % brightness and color
+        alteration, Gaussian noise, resolution change to PAL geometry,
+        NTSC→PAL re-timing (key-frame cadence scaled by 25/29.97),
+        optional re-compression, and segment reordering.
+
+        ``reorder_mode`` selects the reordering granularity:
+        ``"equal"`` cuts into a random count of near-equal segments in
+        ``[reorder_min_segments, reorder_max_segments]``; ``"shots"``
+        cuts at *detected shot boundaries* — the paper's "reorder these
+        segments without affecting the contents" as a human editor would
+        do it.
+
+        ``chroma_domain`` runs the brightness/color alterations on a
+        genuine RGB rendition of each clip (see
+        :class:`repro.video.edits.EditPipeline`).
+        """
+        if reorder_mode not in ("equal", "shots"):
+            raise WorkloadError(
+                f"reorder_mode must be 'equal' or 'shots', got {reorder_mode!r}"
+            )
+        if reorder_min_segments < 1 or reorder_max_segments < reorder_min_segments:
+            raise WorkloadError(
+                "invalid reorder segment range "
+                f"[{reorder_min_segments}, {reorder_max_segments}]"
+            )
+        kf_rate = self.profile.keyframes_per_second
+        pal_keyframe_rate = kf_rate * (PAL.fps / NTSC.fps)
+        pipeline = EditPipeline(
+            target_format=VideoFormat(
+                name="PAL-kf",
+                width=PAL.width,
+                height=PAL.height,
+                fps=pal_keyframe_rate,
+            ),
+            noise_sigma=noise_sigma,
+            recompress_quality=recompress_quality,
+            chroma_domain=chroma_domain,
+            seed=self.seed,
+        )
+        rng = make_rng(self.seed, "vs2-reorder")
+        inserts: List[Tuple[int, VideoClip]] = []
+        for qid, clip in library:
+            edited = pipeline.apply(clip)
+            if reorder_mode == "shots":
+                from repro.video.reorder import reorder_at_shots
+
+                edited, _permutation = reorder_at_shots(
+                    edited, seed=int(rng.integers(1 << 31))
+                )
+            else:
+                num_segments = int(
+                    rng.integers(reorder_min_segments, reorder_max_segments + 1)
+                )
+                num_segments = min(num_segments, edited.num_frames)
+                edited, _permutation = reorder_segments(
+                    edited, num_segments, seed=int(rng.integers(1 << 31))
+                )
+            # Reinterpret the re-timed clip at the stream cadence: the
+            # PAL re-encode kept wall-clock duration but dropped key
+            # frames, so the copy is shorter than the query (tempo
+            # scaling, bounded by λ).
+            inserts.append(
+                (qid, VideoClip(frames=edited.frames, fps=kf_rate, label=edited.label))
+            )
+        return self._assemble(
+            inserts,
+            target_format=VideoFormat(
+                name="PAL-base", width=PAL.width, height=PAL.height, fps=NTSC.fps
+            ),
+            name=name,
+        )
+
+    def build_from_clips(
+        self,
+        inserts: "Dict[int, VideoClip]",
+        target_format: VideoFormat = NTSC,
+        name: str = "custom",
+    ) -> DoctoredStream:
+        """Splice arbitrary clips into base footage.
+
+        For workloads beyond VS1/VS2 — e.g. decoy studies where partially
+        similar non-copies are planted to stress precision. Every insert
+        is recorded in the ground truth under its mapping key; callers
+        monitoring only a subset of the keys should filter the ground
+        truth accordingly.
+        """
+        ordered = [(qid, inserts[qid]) for qid in sorted(inserts)]
+        return self._assemble(ordered, target_format=target_format, name=name)
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+
+    def _assemble(
+        self,
+        inserts: List[Tuple[int, VideoClip]],
+        target_format: VideoFormat,
+        name: str,
+    ) -> DoctoredStream:
+        """Interleave filler footage and insertions, recording spans."""
+        profile = self.profile
+        kf_rate = profile.keyframes_per_second
+        rng = make_rng(self.seed, f"doctor-layout:{name}")
+
+        insert_frames = sum(clip.num_frames for _qid, clip in inserts)
+        total_frames = profile.seconds_to_keyframes(profile.stream_seconds)
+        min_gap_frames = max(1, round(_MIN_GAP_SECONDS * kf_rate))
+        num_gaps = len(inserts) + 1
+        filler_frames = total_frames - insert_frames
+        if filler_frames < num_gaps * min_gap_frames:
+            raise WorkloadError(
+                f"stream of {total_frames} key frames cannot hold "
+                f"{insert_frames} insert frames plus {num_gaps} gaps of "
+                f">= {min_gap_frames} frames; increase stream_seconds"
+            )
+
+        proportions = rng.dirichlet(np.ones(num_gaps))
+        spare = filler_frames - num_gaps * min_gap_frames
+        gap_lengths = (min_gap_frames + np.floor(proportions * spare)).astype(int)
+        # Distribute the rounding remainder over the first gaps.
+        remainder = filler_frames - int(gap_lengths.sum())
+        for position in range(remainder):
+            gap_lengths[position % num_gaps] += 1
+
+        synthesizer = ClipSynthesizer(
+            config=SynthesisConfig(video_format=target_format),
+            seed=self.seed,
+        )
+        order = rng.permutation(len(inserts))
+
+        pieces: List[VideoClip] = []
+        occurrences: List[Occurrence] = []
+        cursor = 0
+        for position, insert_position in enumerate(order):
+            filler = self._filler(
+                synthesizer, int(gap_lengths[position]), kf_rate,
+                f"{name}-filler-{position}",
+            )
+            pieces.append(filler)
+            cursor += filler.num_frames
+
+            qid, clip = inserts[int(insert_position)]
+            resized = self._conform(clip, target_format, kf_rate)
+            pieces.append(resized)
+            occurrences.append(
+                Occurrence(
+                    qid=qid,
+                    begin_frame=cursor,
+                    end_frame=cursor + resized.num_frames,
+                )
+            )
+            cursor += resized.num_frames
+
+        pieces.append(
+            self._filler(
+                synthesizer, int(gap_lengths[-1]), kf_rate,
+                f"{name}-filler-{len(inserts)}",
+            )
+        )
+        stream_clip = concat_clips(pieces, label=name)
+        return DoctoredStream(
+            clip=stream_clip,
+            ground_truth=GroundTruth(occurrences, stream_clip.num_frames),
+            keyframes_per_second=kf_rate,
+            name=name,
+        )
+
+    @staticmethod
+    def _filler(
+        synthesizer: ClipSynthesizer, num_frames: int, kf_rate: float, label: str
+    ) -> VideoClip:
+        """Generate base ("film") footage of an exact frame count."""
+        clip = synthesizer.generate_clip(
+            duration_seconds=num_frames / kf_rate, label=label, fps=kf_rate
+        )
+        if clip.num_frames > num_frames:
+            clip = clip.subclip(0, num_frames)
+        return clip
+
+    @staticmethod
+    def _conform(
+        clip: VideoClip, target_format: VideoFormat, kf_rate: float
+    ) -> VideoClip:
+        """Fit an insert to the stream's frame geometry and cadence."""
+        from repro.video.edits import change_resolution  # local: avoids cycle
+
+        if (clip.height, clip.width) != (target_format.height, target_format.width):
+            clip = change_resolution(clip, target_format.height, target_format.width)
+        if abs(clip.fps - kf_rate) > 1e-9:
+            clip = VideoClip(frames=clip.frames, fps=kf_rate, label=clip.label)
+        return clip

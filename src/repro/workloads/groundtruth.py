@@ -1,0 +1,85 @@
+"""Ground-truth occurrence records for doctored streams.
+
+Each inserted clip contributes one :class:`Occurrence` with its query id
+and key-frame span inside the stream. The paper's correctness rule for a
+reported match position ``p`` is ``Q.begin + w <= p <= Q.end + w`` (both
+in frames, ``w`` being the basic-window length); the rule itself lives in
+:mod:`repro.evaluation.metrics` — this module only stores positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence
+
+from repro.errors import WorkloadError
+
+__all__ = ["GroundTruth", "Occurrence"]
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One inserted copy of a query clip.
+
+    Attributes
+    ----------
+    qid:
+        The query (library clip) id this insertion is a copy of.
+    begin_frame, end_frame:
+        Key-frame span of the insertion inside the stream (end exclusive).
+    """
+
+    qid: int
+    begin_frame: int
+    end_frame: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.begin_frame < self.end_frame:
+            raise WorkloadError(
+                f"occurrence of query {self.qid} has an empty or negative "
+                f"span [{self.begin_frame}, {self.end_frame})"
+            )
+
+    @property
+    def num_frames(self) -> int:
+        """Length of the inserted copy in key frames."""
+        return self.end_frame - self.begin_frame
+
+
+class GroundTruth:
+    """The set of occurrences of one doctored stream."""
+
+    def __init__(self, occurrences: Sequence[Occurrence], stream_frames: int) -> None:
+        if stream_frames <= 0:
+            raise WorkloadError(
+                f"stream_frames must be positive, got {stream_frames}"
+            )
+        for occurrence in occurrences:
+            if occurrence.end_frame > stream_frames:
+                raise WorkloadError(
+                    f"occurrence of query {occurrence.qid} ends at frame "
+                    f"{occurrence.end_frame}, beyond the stream "
+                    f"({stream_frames} frames)"
+                )
+        self._occurrences = sorted(
+            occurrences, key=lambda occ: (occ.begin_frame, occ.qid)
+        )
+        self.stream_frames = stream_frames
+        self._by_query: Dict[int, List[Occurrence]] = {}
+        for occurrence in self._occurrences:
+            self._by_query.setdefault(occurrence.qid, []).append(occurrence)
+
+    def __len__(self) -> int:
+        return len(self._occurrences)
+
+    def __iter__(self) -> Iterator[Occurrence]:
+        return iter(self._occurrences)
+
+    @property
+    def query_ids(self) -> List[int]:
+        """Query ids with at least one occurrence, sorted."""
+        return sorted(self._by_query)
+
+    def occurrences_of(self, qid: int) -> List[Occurrence]:
+        """All occurrences of one query (possibly empty)."""
+        return list(self._by_query.get(qid, []))

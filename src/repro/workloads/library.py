@@ -1,0 +1,100 @@
+"""The short-clip library — the continuous queries.
+
+The paper downloads 200 short videos (MTV, advertisements, movie samples,
+sports) of 30-300 s; we synthesise the scaled equivalent: ``num_queries``
+clips with seeded random durations in the profile's range, each with its
+own independent content process. The same library object serves both as
+the query set and as the insertion material for the doctored streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.config import ScaleProfile
+from repro.errors import WorkloadError
+from repro.utils.rng import make_rng
+from repro.video.clip import VideoClip
+from repro.video.synth import ClipSynthesizer
+
+__all__ = ["ClipLibrary"]
+
+
+class ClipLibrary:
+    """A deterministic collection of synthetic short clips.
+
+    Parameters
+    ----------
+    profile:
+        Scale profile providing count, duration range and key-frame
+        cadence. Clips are generated *at key-frame cadence*: one stored
+        frame per key frame, which is the only granularity the detector
+        consumes.
+    synthesizer:
+        Content generator; its seed (together with clip labels) fully
+        determines the library.
+    seed:
+        Seed for the duration draws.
+    """
+
+    def __init__(
+        self,
+        profile: ScaleProfile,
+        synthesizer: ClipSynthesizer,
+        seed: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.synthesizer = synthesizer
+        rng = make_rng(seed, "library-durations")
+        self._clips: Dict[int, VideoClip] = {}
+        for qid in range(profile.num_queries):
+            duration = float(
+                rng.uniform(profile.query_min_seconds, profile.query_max_seconds)
+            )
+            self._clips[qid] = synthesizer.generate_clip(
+                duration_seconds=duration,
+                label=f"clip-{qid:04d}",
+                fps=profile.keyframes_per_second,
+            )
+
+    @classmethod
+    def generate(cls, profile: ScaleProfile, seed: int = 0) -> "ClipLibrary":
+        """Convenience constructor with a default synthesizer."""
+        return cls(
+            profile=profile,
+            synthesizer=ClipSynthesizer(seed=seed),
+            seed=seed,
+        )
+
+    def __len__(self) -> int:
+        return len(self._clips)
+
+    def __iter__(self) -> Iterator[Tuple[int, VideoClip]]:
+        return iter(sorted(self._clips.items()))
+
+    @property
+    def query_ids(self) -> List[int]:
+        """All clip ids, sorted."""
+        return sorted(self._clips)
+
+    def clip(self, qid: int) -> VideoClip:
+        """Look up a clip by id."""
+        if qid not in self._clips:
+            raise WorkloadError(f"unknown clip id {qid}")
+        return self._clips[qid]
+
+    def subset(self, num_clips: int) -> "ClipLibrary":
+        """A library view containing only the first ``num_clips`` clips.
+
+        Used by the query-count sweeps (Figure 9) so that m=10 and m=200
+        share the same underlying clips.
+        """
+        if not 1 <= num_clips <= len(self._clips):
+            raise WorkloadError(
+                f"num_clips must be in [1, {len(self._clips)}], got {num_clips}"
+            )
+        view = object.__new__(ClipLibrary)
+        view.profile = self.profile
+        view.synthesizer = self.synthesizer
+        view._clips = {qid: self._clips[qid] for qid in self.query_ids[:num_clips]}
+        return view

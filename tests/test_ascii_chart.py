@@ -1,0 +1,78 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.ascii_chart import render_chart
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        chart = render_chart(
+            {"a": [1.0, 2.0, 3.0]},
+            [10, 20, 30],
+            height=6,
+            width=30,
+            title="T",
+            y_label="y",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 6 + 1 + 1 + 1  # title, rows, axis, ticks, legend
+        assert "o=a" in lines[-1]
+
+    def test_extremes_on_border_rows(self):
+        chart = render_chart({"a": [0.0, 10.0]}, [1, 2], height=5, width=20)
+        lines = chart.splitlines()
+        assert "o" in lines[0]      # max on the top row
+        assert "o" in lines[4]      # min on the bottom row
+
+    def test_y_labels(self):
+        chart = render_chart({"a": [0.0, 10.0]}, [1, 2], height=5, width=20)
+        assert "10" in chart.splitlines()[0]
+        assert "0" in chart.splitlines()[4]
+
+    def test_multiple_series_glyphs(self):
+        chart = render_chart(
+            {"fast": [1, 1], "slow": [2, 2]}, [1, 2], height=4, width=20
+        )
+        assert "o=fast" in chart and "x=slow" in chart
+        body = "\n".join(chart.splitlines()[:-1])
+        assert "o" in body and "x" in body
+
+    def test_collision_marker(self):
+        chart = render_chart(
+            {"a": [1.0, 2.0], "b": [1.0, 9.0]}, [1, 2], height=6, width=20
+        )
+        assert "*" in chart  # both series share the first point
+
+    def test_flat_series(self):
+        chart = render_chart({"a": [5.0, 5.0, 5.0]}, [1, 2, 3])
+        assert "o" in chart
+
+    def test_single_point(self):
+        chart = render_chart({"a": [3.0]}, [7], height=4, width=12)
+        assert "7" in chart
+
+    def test_x_ticks_present(self):
+        chart = render_chart({"a": [1, 2, 3]}, [100, 400, 1600], width=40)
+        ticks = chart.splitlines()[-2]
+        assert "100" in ticks and "1600" in ticks
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_chart({}, [1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_chart({"a": [1, 2]}, [1, 2, 3])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            render_chart({"a": [1, 2, 3]}, [1, 2, 3], width=2)
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": [1.0] for i in range(9)}
+        with pytest.raises(ValueError):
+            render_chart(series, [1])

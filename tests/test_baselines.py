@@ -1,0 +1,247 @@
+"""Tests for the Seq, Warp and membership baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.membership import MembershipMatcher, jaccard_similarity
+from repro.baselines.seq import SeqMatcher, frame_distance_matrix, ordinal_signature
+from repro.baselines.warp import WarpMatcher, dtw_distance
+from repro.errors import EvaluationError
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity([1, 2], [3, 4]) == 0.0
+
+    def test_half_overlap(self):
+        assert jaccard_similarity([1, 2], [2, 3]) == pytest.approx(1 / 3)
+
+    def test_duplicates_ignored(self):
+        assert jaccard_similarity([1, 1, 2], [1, 2, 2]) == 1.0
+
+    def test_empty_is_zero(self):
+        assert jaccard_similarity([], []) == 0.0
+
+    def test_symmetry(self):
+        assert jaccard_similarity([1, 5, 9], [5, 7]) == jaccard_similarity(
+            [5, 7], [1, 5, 9]
+        )
+
+
+class TestMembershipMatcher:
+    def test_retrieve_threshold(self):
+        matcher = MembershipMatcher(threshold=0.6)
+        collection = {
+            0: np.array([1, 2, 3, 4]),
+            1: np.array([1, 2, 3, 9]),
+            2: np.array([50, 51]),
+        }
+        hits = matcher.retrieve(np.array([1, 2, 3, 4]), collection)
+        assert [cid for cid, _ in hits] == [0, 1]
+        assert hits[0][1] == 1.0
+
+    def test_retrieval_quality_perfect(self):
+        matcher = MembershipMatcher(threshold=0.9)
+        collection = {i: np.arange(i * 10, i * 10 + 5) for i in range(4)}
+        precision, recall = matcher.retrieval_quality(collection, collection)
+        assert precision == 1.0 and recall == 1.0
+
+    def test_retrieval_quality_loose_threshold(self):
+        # At threshold 0 every clip is retrieved for every query:
+        # precision = 1/m, recall = 1.
+        matcher = MembershipMatcher(threshold=0.0)
+        collection = {i: np.arange(i * 10, i * 10 + 5) for i in range(4)}
+        precision, recall = matcher.retrieval_quality(collection, collection)
+        assert recall == 1.0
+        assert precision == pytest.approx(0.25)
+
+    def test_empty_retrieval_precision_one(self):
+        matcher = MembershipMatcher(threshold=0.9)
+        queries = {0: np.array([1, 2, 3])}
+        collection = {0: np.array([50, 51, 52])}
+        precision, recall = matcher.retrieval_quality(queries, collection)
+        assert precision == 1.0 and recall == 0.0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(EvaluationError):
+            MembershipMatcher(threshold=1.5)
+
+    def test_rejects_empty_queries(self):
+        with pytest.raises(EvaluationError):
+            MembershipMatcher().retrieval_quality({}, {})
+
+
+class TestOrdinalSignature:
+    def test_rank_values(self):
+        means = np.array([[10.0, 30.0, 20.0]])
+        assert ordinal_signature(means).tolist() == [[0, 2, 1]]
+
+    def test_monotone_invariance(self):
+        means = np.array([[10.0, 30.0, 20.0, 5.0]])
+        scaled = means * 3.7 + 12.0
+        assert np.array_equal(ordinal_signature(means), ordinal_signature(scaled))
+
+    def test_each_row_is_permutation(self):
+        rng = np.random.default_rng(0)
+        means = rng.uniform(0, 255, size=(10, 9))
+        ranks = ordinal_signature(means)
+        for row in ranks:
+            assert sorted(row.tolist()) == list(range(9))
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(EvaluationError):
+            ordinal_signature(np.zeros(9))
+
+
+class TestFrameDistance:
+    def test_identical_frames_zero(self):
+        ranks = ordinal_signature(np.random.default_rng(1).uniform(size=(3, 9)))
+        matrix = frame_distance_matrix(ranks, ranks)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        a = ordinal_signature(rng.uniform(size=(5, 9)))
+        b = ordinal_signature(rng.uniform(size=(7, 9)))
+        matrix = frame_distance_matrix(a, b)
+        assert matrix.shape == (5, 7)
+        assert (matrix >= 0).all() and (matrix <= 1.0).all()
+
+    def test_opposite_orders_maximal(self):
+        up = ordinal_signature(np.arange(9.0)[np.newaxis, :])
+        down = ordinal_signature(np.arange(9.0)[::-1][np.newaxis, :])
+        assert frame_distance_matrix(up, down)[0, 0] == 1.0
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            frame_distance_matrix(np.zeros((2, 9), int), np.zeros((2, 8), int))
+
+
+class TestSeqMatcher:
+    def _ranks(self, seed, length=60):
+        rng = np.random.default_rng(seed)
+        return ordinal_signature(rng.uniform(0, 255, size=(length, 9)))
+
+    def test_finds_exact_copy(self):
+        stream = self._ranks(0, 200)
+        query = stream[80:120]
+        matcher = SeqMatcher(distance_threshold=0.05, gap_frames=5)
+        matches = matcher.find_matches(query, stream)
+        assert any(m["start_frame"] == 80 for m in matches)
+
+    def test_misses_reordered_copy(self):
+        """The headline weakness: block-shuffled copies escape Seq."""
+        rng = np.random.default_rng(3)
+        stream = self._ranks(0, 200)
+        query = stream[80:120].copy()
+        # Reorder the stream copy in 4 blocks.
+        blocks = np.array_split(np.arange(80, 120), 4)
+        order = [2, 0, 3, 1]
+        shuffled = np.concatenate([blocks[i] for i in order])
+        reordered_stream = stream.copy()
+        reordered_stream[80:120] = stream[shuffled]
+        matcher = SeqMatcher(distance_threshold=0.05, gap_frames=5)
+        assert not matcher.find_matches(query, reordered_stream)
+
+    def test_gap_controls_positions(self):
+        stream = self._ranks(0, 100)
+        query = stream[:20]
+        matcher = SeqMatcher(distance_threshold=2.0, gap_frames=25)
+        matches = matcher.find_matches(query, stream)
+        assert [m["start_frame"] for m in matches] == [0, 25, 50, 75]
+
+    def test_short_stream_no_matches(self):
+        query = self._ranks(0, 50)
+        stream = self._ranks(1, 10)
+        assert SeqMatcher().find_matches(query, stream) == []
+
+    def test_window_distance_prefix_rule(self):
+        a = self._ranks(0, 30)
+        b = self._ranks(0, 40)
+        matcher = SeqMatcher()
+        assert matcher.window_distance(a, b) == pytest.approx(0.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(EvaluationError):
+            SeqMatcher(distance_threshold=-0.1)
+        with pytest.raises(EvaluationError):
+            SeqMatcher(gap_frames=0)
+
+
+class TestDtw:
+    def _ranks(self, seed, length=40):
+        rng = np.random.default_rng(seed)
+        return ordinal_signature(rng.uniform(0, 255, size=(length, 9)))
+
+    def test_identical_zero(self):
+        ranks = self._ranks(0)
+        assert dtw_distance(ranks, ranks, band_width=3) == pytest.approx(0.0)
+
+    def test_tolerates_local_retiming(self):
+        """DTW absorbs frame-rate changes that break rigid alignment."""
+        ranks = self._ranks(0, 60)
+        # Drop every 5th frame (retiming).
+        retimed = np.delete(ranks, np.arange(0, 60, 5), axis=0)
+        warped = dtw_distance(ranks, retimed, band_width=8)
+        rigid = SeqMatcher().window_distance(ranks, retimed)
+        assert warped < rigid
+
+    def test_defeated_by_block_reordering(self):
+        """Monotone paths cannot undo segment transposition."""
+        ranks = self._ranks(0, 60)
+        blocks = np.array_split(np.arange(60), 4)
+        reordered = ranks[np.concatenate([blocks[i] for i in (2, 0, 3, 1)])]
+        assert dtw_distance(ranks, reordered, band_width=8) > 0.2
+
+    def test_wider_band_never_worse(self):
+        a = self._ranks(1, 30)
+        b = self._ranks(2, 30)
+        narrow = dtw_distance(a, b, band_width=1)
+        wide = dtw_distance(a, b, band_width=10)
+        assert wide <= narrow + 1e-12
+
+    def test_different_lengths(self):
+        a = self._ranks(1, 30)
+        b = self._ranks(1, 45)
+        assert dtw_distance(a, b, band_width=3) < 1.0
+
+    def test_rejects_bad_inputs(self):
+        a = self._ranks(0, 10)
+        with pytest.raises(EvaluationError):
+            dtw_distance(a, a, band_width=-1)
+        with pytest.raises(EvaluationError):
+            dtw_distance(a, np.zeros((5, 8), dtype=int), band_width=2)
+
+
+class TestWarpMatcher:
+    def test_finds_retimed_copy(self):
+        rng = np.random.default_rng(4)
+        stream_ranks = ordinal_signature(rng.uniform(0, 255, size=(150, 9)))
+        query = stream_ranks[50:90].copy()
+        # Retime the copy to 0.8x speed (32 frames covering the same
+        # content) — the local tempo change DTW is built to absorb.
+        region = np.round(np.linspace(50, 89, 32)).astype(int)
+        stream2 = stream_ranks.copy()
+        stream2[50:82] = stream_ranks[region]
+        matcher = WarpMatcher(distance_threshold=0.2, band_width=8, gap_frames=5)
+        matches = matcher.find_matches(query, stream2)
+        assert any(45 <= m["start_frame"] <= 55 for m in matches)
+        # The rigid matcher cannot absorb the retiming at this threshold.
+        rigid = SeqMatcher(distance_threshold=0.2, gap_frames=5)
+        assert not rigid.find_matches(query, stream2)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(EvaluationError):
+            WarpMatcher(window_scale=0.5)
+        with pytest.raises(EvaluationError):
+            WarpMatcher(band_width=-1)
+
+    def test_short_stream(self):
+        rng = np.random.default_rng(5)
+        ranks = ordinal_signature(rng.uniform(size=(10, 9)))
+        assert WarpMatcher().find_matches(ranks, ranks[:5]) == []

@@ -1,0 +1,119 @@
+"""Tests for the bottom-k (KMV) alternative sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.membership import jaccard_similarity
+from repro.errors import SketchError
+from repro.minhash.bottomk import BottomKFamily, BottomKSketch
+
+
+@pytest.fixture()
+def bk_family():
+    return BottomKFamily(k=64, seed=3)
+
+
+class TestBottomKFamily:
+    def test_deterministic(self):
+        a = BottomKFamily(k=16, seed=1).sketch([1, 2, 3])
+        b = BottomKFamily(k=16, seed=1).sketch([1, 2, 3])
+        assert np.array_equal(a.values, b.values)
+
+    def test_seed_changes_values(self):
+        a = BottomKFamily(k=16, seed=1).sketch(range(100))
+        b = BottomKFamily(k=16, seed=2).sketch(range(100))
+        assert not np.array_equal(a.values, b.values)
+
+    def test_capacity(self, bk_family):
+        sketch = bk_family.sketch(range(1000))
+        assert sketch.values.shape[0] == 64
+        assert (np.diff(sketch.values) > 0).all()
+
+    def test_small_set_keeps_all(self, bk_family):
+        sketch = bk_family.sketch([5, 9, 12])
+        assert sketch.values.shape[0] == 3
+
+    def test_empty_set(self, bk_family):
+        sketch = bk_family.sketch([])
+        assert sketch.values.shape[0] == 0
+
+    def test_duplicates_ignored(self, bk_family):
+        assert np.array_equal(
+            bk_family.sketch([7, 7, 7, 9]).values,
+            bk_family.sketch([7, 9]).values,
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(SketchError):
+            BottomKFamily(k=0)
+
+    def test_rejects_out_of_domain(self, bk_family):
+        with pytest.raises(SketchError):
+            bk_family.sketch([-1])
+
+
+class TestBottomKSketch:
+    def test_combine_is_union_sketch(self, bk_family):
+        a = bk_family.sketch(range(0, 50))
+        b = bk_family.sketch(range(30, 90))
+        union = bk_family.sketch(range(0, 90))
+        assert np.array_equal(a.combine(b).values, union.values)
+
+    def test_combine_associative_idempotent(self, bk_family):
+        a = bk_family.sketch(range(0, 30))
+        b = bk_family.sketch(range(20, 60))
+        c = bk_family.sketch(range(50, 80))
+        assert np.array_equal(
+            a.combine(b).combine(c).values, a.combine(b.combine(c)).values
+        )
+        assert np.array_equal(a.combine(a).values, a.values)
+
+    def test_self_similarity(self, bk_family):
+        sketch = bk_family.sketch(range(200))
+        assert sketch.similarity(sketch) == 1.0
+
+    def test_disjoint_similarity(self):
+        family = BottomKFamily(k=128, seed=5)
+        a = family.sketch(range(0, 100))
+        b = family.sketch(range(10_000, 10_100))
+        assert a.similarity(b) < 0.05
+
+    def test_cross_family_rejected(self):
+        a = BottomKFamily(k=8, seed=1).sketch([1])
+        b = BottomKFamily(k=8, seed=2).sketch([1])
+        with pytest.raises(SketchError):
+            a.similarity(b)
+
+    def test_unsorted_values_rejected(self):
+        with pytest.raises(SketchError):
+            BottomKSketch(
+                values=np.array([5, 3], dtype=np.int64), k=4, family=(4, 0)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sets(st.integers(0, 3000), min_size=20, max_size=150),
+        st.sets(st.integers(0, 3000), min_size=20, max_size=150),
+    )
+    def test_kmv_estimator_tracks_jaccard(self, set_a, set_b):
+        family = BottomKFamily(k=512, seed=7)
+        exact = jaccard_similarity(sorted(set_a), sorted(set_b))
+        estimate = family.sketch(sorted(set_a)).similarity(
+            family.sketch(sorted(set_b))
+        )
+        assert abs(estimate - exact) < 0.15
+
+    def test_estimator_mean_unbiased(self):
+        a = list(range(60))
+        b = list(range(30, 90))
+        exact = jaccard_similarity(a, b)
+        estimates = [
+            BottomKFamily(k=48, seed=s).sketch(a).similarity(
+                BottomKFamily(k=48, seed=s).sketch(b)
+            )
+            for s in range(30)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, abs=0.05)

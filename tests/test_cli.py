@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.stream == "vs2"
+        assert args.hashes == 400
+        assert args.threshold == 0.7
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "threshold", "0.5", "0.7", "0.9"]
+        )
+        assert args.parameter == "threshold"
+        assert args.values == [0.5, 0.7, 0.9]
+
+    def test_inspect_args(self):
+        args = build_parser().parse_args(["inspect", "--motion", "--gop", "6"])
+        assert args.motion is True
+        assert args.gop == 6
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_rejects_bad_sweep_parameter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "nonsense", "1"])
+
+
+class TestCommands:
+    def test_inspect_runs(self, capsys):
+        exit_code = main(["inspect", "--seconds", "3", "--quality", "60"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Bitstream report" in output
+        assert "compression" in output
+
+    def test_inspect_motion_runs(self, capsys):
+        exit_code = main(
+            ["inspect", "--seconds", "2", "--motion", "--gop", "4"]
+        )
+        assert exit_code == 0
+        assert "motion-compensated" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_demo_runs(self, capsys):
+        exit_code = main(
+            ["demo", "--stream", "vs1", "--queries", "3",
+             "--stream-seconds", "300", "--hashes", "128"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Detections" in output
+        assert "precision=" in output
+
+    @pytest.mark.slow
+    def test_sweep_runs(self, capsys):
+        exit_code = main(
+            ["sweep", "threshold", "0.5", "0.9", "--stream", "vs1",
+             "--queries", "3", "--stream-seconds", "300"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "precision:" in output
+        assert "recall:" in output
+        assert "cpu_seconds:" in output

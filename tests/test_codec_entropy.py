@@ -1,0 +1,189 @@
+"""Tests for exp-Golomb entropy coding and the entropy-coded bitstream."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.entropy import (
+    BitReader,
+    BitWriter,
+    decode_block_scan,
+    encode_block_scan,
+    skip_block_scan_keep_dc,
+)
+from repro.codec.gop import decode_dc_coefficients, decode_video, encode_video
+from repro.errors import BitstreamError
+
+
+class TestBitIO:
+    def test_bit_roundtrip(self):
+        writer = BitWriter()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1]
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+    def test_write_bits_msb_first(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0b0010, 4)
+        assert writer.getvalue() == bytes([0b10110010])
+
+    def test_bit_length(self):
+        writer = BitWriter()
+        writer.write_bits(0, 13)
+        assert writer.bit_length == 13
+        assert len(writer.getvalue()) == 2
+
+    def test_overflow_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_bits(0b100, 2)
+
+    def test_exhaustion_detected(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(BitstreamError):
+            reader.read_bit()
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=100))
+    def test_bit_roundtrip_property(self, bits):
+        writer = BitWriter()
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+
+class TestExpGolomb:
+    @given(st.integers(0, 1 << 40))
+    def test_ue_roundtrip(self, value):
+        writer = BitWriter()
+        writer.write_ue(value)
+        assert BitReader(writer.getvalue()).read_ue() == value
+
+    @given(st.integers(-(1 << 39), 1 << 39))
+    def test_se_roundtrip(self, value):
+        writer = BitWriter()
+        writer.write_se(value)
+        assert BitReader(writer.getvalue()).read_se() == value
+
+    def test_canonical_ue_codes(self):
+        # ue(0)=1, ue(1)=010, ue(2)=011 — the H.264 table.
+        for value, expected_bits in [(0, "1"), (1, "010"), (2, "011"),
+                                     (3, "00100"), (4, "00101")]:
+            writer = BitWriter()
+            writer.write_ue(value)
+            produced = "".join(
+                str((writer.getvalue()[0] >> (7 - i)) & 1)
+                for i in range(len(expected_bits))
+            )
+            assert produced == expected_bits, value
+
+    def test_small_values_cheap(self):
+        writer = BitWriter()
+        for _ in range(100):
+            writer.write_ue(0)
+        assert len(writer.getvalue()) == 13  # 100 bits
+
+    def test_ue_rejects_negative(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().write_ue(-1)
+
+
+class TestBlockScanCoding:
+    @given(
+        st.lists(st.integers(-200, 200), min_size=1, max_size=64)
+    )
+    def test_scan_roundtrip(self, values):
+        scan = np.asarray(values, dtype=np.int64)
+        writer = BitWriter()
+        encode_block_scan(writer, scan)
+        decoded = decode_block_scan(BitReader(writer.getvalue()), len(scan))
+        assert np.array_equal(decoded, scan)
+
+    def test_skip_keeps_dc_and_position(self):
+        scans = [
+            np.array([7, 0, 0, -3, 0, 5, 0, 0], dtype=np.int64),
+            np.array([-2, 1, 0, 0, 0, 0, 0, 0], dtype=np.int64),
+        ]
+        writer = BitWriter()
+        for scan in scans:
+            encode_block_scan(writer, scan)
+        reader = BitReader(writer.getvalue())
+        assert skip_block_scan_keep_dc(reader) == 7
+        # The cursor must now sit exactly at the second block.
+        assert np.array_equal(decode_block_scan(reader, 8), scans[1])
+
+    def test_sparse_scan_is_tiny(self):
+        scan = np.zeros(64, dtype=np.int64)
+        scan[0] = 12
+        writer = BitWriter()
+        encode_block_scan(writer, scan)
+        assert len(writer.getvalue()) <= 2
+
+
+class TestEntropyCodedBitstream:
+    def _frames(self, num_frames=6, seed=0):
+        rng = np.random.default_rng(seed)
+        coarse = rng.uniform(30, 220, size=(6, 8))
+        base = np.kron(coarse, np.ones((4, 4)))
+        drift = rng.normal(0, 2, size=(num_frames, 1, 1)).cumsum(axis=0)
+        return np.clip(base[np.newaxis] + drift, 0, 255)
+
+    @pytest.mark.parametrize("use_motion", [False, True])
+    def test_decode_identical_to_varint_mode(self, use_motion):
+        """Entropy coding is lossless re-packaging: the decoded frames
+        are bit-identical to the varint-mode decode."""
+        frames = self._frames()
+        plain = encode_video(
+            frames, fps=25.0, quality=80, gop_size=3, use_motion=use_motion
+        )
+        packed = encode_video(
+            frames, fps=25.0, quality=80, gop_size=3, use_motion=use_motion,
+            entropy_coding=True,
+        )
+        assert np.array_equal(decode_video(plain), decode_video(packed))
+
+    def test_entropy_stream_is_smaller(self):
+        frames = self._frames(num_frames=8)
+        plain = encode_video(frames, fps=25.0, quality=70, gop_size=4)
+        packed = encode_video(
+            frames, fps=25.0, quality=70, gop_size=4, entropy_coding=True
+        )
+        assert packed.size_bytes < plain.size_bytes
+
+    def test_partial_decoder_agrees(self):
+        frames = self._frames(num_frames=7)
+        plain = encode_video(frames, fps=25.0, quality=80, gop_size=3)
+        packed = encode_video(
+            frames, fps=25.0, quality=80, gop_size=3, entropy_coding=True
+        )
+        plain_dc = list(decode_dc_coefficients(plain))
+        packed_dc = list(decode_dc_coefficients(packed))
+        assert [i for i, _ in plain_dc] == [i for i, _ in packed_dc]
+        for (_, grid_a), (_, grid_b) in zip(plain_dc, packed_dc):
+            assert np.array_equal(grid_a, grid_b)
+
+    def test_header_carries_flag(self):
+        frames = self._frames(num_frames=2)
+        packed = encode_video(frames, fps=25.0, entropy_coding=True)
+        assert packed.entropy_coding is True
+        plain = encode_video(frames, fps=25.0)
+        assert plain.entropy_coding is False
+
+    def test_fingerprints_identical_across_packing(self):
+        from repro.features.pipeline import FingerprintExtractor
+
+        frames = self._frames(num_frames=6)
+        extractor = FingerprintExtractor()
+        plain = encode_video(frames, fps=25.0, quality=85, gop_size=2)
+        packed = encode_video(
+            frames, fps=25.0, quality=85, gop_size=2, entropy_coding=True
+        )
+        assert np.array_equal(
+            extractor.cell_ids_from_encoded(plain),
+            extractor.cell_ids_from_encoded(packed),
+        )

@@ -1,0 +1,138 @@
+"""Tests for block motion estimation/compensation and M-frame encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.gop import decode_dc_coefficients, decode_video, encode_video
+from repro.codec.motion import compensate, motion_search
+from repro.errors import CodecError
+
+
+def _textured_frame(rng, height=32, width=32):
+    # Smooth, high-contrast texture so block matching is well-posed.
+    base = rng.uniform(0, 255, size=(height // 4, width // 4))
+    return np.kron(base, np.ones((4, 4)))
+
+
+class TestMotionSearch:
+    def test_recovers_pure_translation(self):
+        rng = np.random.default_rng(0)
+        reference = _textured_frame(rng)
+        # Target is the reference shifted down-right by (2, 3): block
+        # content at (r, c) comes from reference at (r - 2, c - 3), i.e.
+        # the per-block vector should be (-2, -3).
+        target = np.roll(np.roll(reference, 2, axis=0), 3, axis=1)
+        vectors = motion_search(reference, target, block_size=8, search_range=4)
+        interior = vectors[1:-1, 1:-1]
+        assert (interior[:, :, 0] == -2).all()
+        assert (interior[:, :, 1] == -3).all()
+
+    def test_zero_motion_for_identical_frames(self):
+        rng = np.random.default_rng(1)
+        frame = _textured_frame(rng)
+        vectors = motion_search(frame, frame, block_size=8, search_range=3)
+        assert (vectors == 0).all()
+
+    def test_prefers_small_vectors_on_ties(self):
+        flat = np.full((16, 16), 100.0)
+        vectors = motion_search(flat, flat, block_size=8, search_range=2)
+        assert (vectors == 0).all()
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(CodecError):
+            motion_search(np.zeros((16, 16)), np.zeros((16, 24)))
+
+    def test_rejects_unaligned_frames(self):
+        with pytest.raises(CodecError):
+            motion_search(np.zeros((10, 16)), np.zeros((10, 16)))
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(CodecError):
+            motion_search(np.zeros((16, 16)), np.zeros((16, 16)), search_range=-1)
+
+
+class TestCompensate:
+    def test_inverse_of_translation(self):
+        rng = np.random.default_rng(2)
+        reference = _textured_frame(rng)
+        target = np.roll(np.roll(reference, 2, axis=0), 3, axis=1)
+        vectors = motion_search(reference, target, block_size=8, search_range=4)
+        prediction = compensate(reference, vectors, block_size=8)
+        # Interior blocks must predict perfectly (edges are clipped).
+        assert np.allclose(prediction[8:-8, 8:-8], target[8:-8, 8:-8])
+
+    def test_zero_vectors_identity(self):
+        rng = np.random.default_rng(3)
+        reference = _textured_frame(rng)
+        vectors = np.zeros((4, 4, 2), dtype=np.int64)
+        assert np.allclose(compensate(reference, vectors, 8), reference)
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(CodecError):
+            compensate(np.zeros((16, 16)), np.zeros((3, 3, 2), dtype=np.int64), 8)
+
+
+class TestMotionCompensatedCodec:
+    def _panning_clip(self, num_frames=6, size=32, seed=4):
+        rng = np.random.default_rng(seed)
+        wide = np.kron(rng.uniform(20, 235, size=(size // 4, size)), np.ones((4, 2)))
+        frames = np.stack(
+            [wide[:, 2 * t : 2 * t + size] for t in range(num_frames)]
+        )
+        return np.clip(frames, 0, 255)
+
+    def test_roundtrip(self):
+        frames = self._panning_clip()
+        encoded = encode_video(
+            frames, fps=25.0, quality=85, gop_size=6, use_motion=True
+        )
+        decoded = decode_video(encoded)
+        assert np.abs(decoded - frames).mean() < 6.0
+
+    def test_motion_beats_plain_difference_on_panning(self):
+        """Panning content: motion-compensated residuals are smaller, so
+        the stream shrinks relative to plain P-frame differencing."""
+        frames = self._panning_clip(num_frames=8)
+        plain = encode_video(frames, fps=25.0, quality=85, gop_size=8)
+        compensated = encode_video(
+            frames, fps=25.0, quality=85, gop_size=8, use_motion=True
+        )
+        assert compensated.size_bytes < plain.size_bytes
+
+    def test_partial_decoder_skips_m_frames(self):
+        frames = self._panning_clip(num_frames=7)
+        encoded = encode_video(
+            frames, fps=25.0, quality=85, gop_size=3, use_motion=True
+        )
+        indices = [idx for idx, _dc in decode_dc_coefficients(encoded)]
+        assert indices == [0, 3, 6]
+
+    def test_unaligned_frame_size(self):
+        rng = np.random.default_rng(5)
+        frames = np.clip(
+            np.cumsum(rng.normal(0, 1, size=(5, 18, 27)), axis=0) + 128, 0, 255
+        )
+        encoded = encode_video(
+            frames, fps=25.0, quality=85, gop_size=5, use_motion=True
+        )
+        decoded = decode_video(encoded)
+        assert decoded.shape == frames.shape
+        assert np.abs(decoded - frames).mean() < 8.0
+
+    def test_fingerprints_agree_between_p_and_m_encodes(self):
+        """The feature pipeline is oblivious to the prediction mode: both
+        encodes expose the same I-frame DC data."""
+        from repro.features.pipeline import FingerprintExtractor
+
+        frames = self._panning_clip(num_frames=9)
+        extractor = FingerprintExtractor()
+        plain = encode_video(frames, fps=25.0, quality=90, gop_size=3)
+        compensated = encode_video(
+            frames, fps=25.0, quality=90, gop_size=3, use_motion=True
+        )
+        assert np.array_equal(
+            extractor.cell_ids_from_encoded(plain),
+            extractor.cell_ids_from_encoded(compensated),
+        )

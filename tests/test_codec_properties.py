@@ -1,0 +1,109 @@
+"""Hypothesis property tests over the whole codec.
+
+Random small videos, random encoder settings — the invariants that must
+hold for every combination: decode inverts encode within quantisation
+tolerance, the partial decoder yields exactly the I frames, and the
+bitstream parses back to its own header.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.bitstream import BitstreamReader
+from repro.codec.gop import decode_dc_coefficients, decode_video, encode_video
+
+
+@st.composite
+def _video_settings(draw):
+    num_frames = draw(st.integers(min_value=1, max_value=6))
+    height = draw(st.sampled_from([8, 12, 16, 17]))
+    width = draw(st.sampled_from([8, 16, 23, 24]))
+    quality = draw(st.sampled_from([30, 60, 90]))
+    gop_size = draw(st.integers(min_value=1, max_value=4))
+    use_motion = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return num_frames, height, width, quality, gop_size, use_motion, seed
+
+
+def _frames(num_frames, height, width, seed):
+    """Smooth (video-like) content: coarse pattern + gentle drift.
+
+    White noise would be pathological for any transform codec — real
+    video is dominated by low frequencies, which is what the DCT +
+    quantiser design assumes.
+    """
+    rng = np.random.default_rng(seed)
+    coarse = rng.uniform(30, 220, size=((height + 3) // 4, (width + 3) // 4))
+    base = np.kron(coarse, np.ones((4, 4)))[:height, :width]
+    drift = rng.normal(0, 2, size=(num_frames, 1, 1)).cumsum(axis=0)
+    return np.clip(base[np.newaxis] + drift, 0, 255)
+
+
+@settings(max_examples=25, deadline=None)
+@given(_video_settings())
+def test_roundtrip_tolerance(settings_tuple):
+    num_frames, height, width, quality, gop_size, use_motion, seed = (
+        settings_tuple
+    )
+    frames = _frames(num_frames, height, width, seed)
+    encoded = encode_video(
+        frames,
+        fps=25.0,
+        quality=quality,
+        gop_size=gop_size,
+        use_motion=use_motion,
+    )
+    decoded = decode_video(encoded)
+    assert decoded.shape == frames.shape
+    assert decoded.min() >= 0.0 and decoded.max() <= 255.0
+    # Quantisation tolerance loosens with lower quality.
+    tolerance = {30: 20.0, 60: 12.0, 90: 6.0}[quality]
+    assert np.abs(decoded - frames).mean() < tolerance
+
+
+@settings(max_examples=25, deadline=None)
+@given(_video_settings())
+def test_partial_decoder_yields_exactly_the_i_frames(settings_tuple):
+    num_frames, height, width, quality, gop_size, use_motion, seed = (
+        settings_tuple
+    )
+    frames = _frames(num_frames, height, width, seed)
+    encoded = encode_video(
+        frames,
+        fps=25.0,
+        quality=quality,
+        gop_size=gop_size,
+        use_motion=use_motion,
+    )
+    indices = [index for index, _dc in decode_dc_coefficients(encoded)]
+    assert indices == list(range(0, num_frames, gop_size))
+    for _index, dc_grid in decode_dc_coefficients(encoded):
+        assert dc_grid.shape == (-(-height // 8), -(-width // 8))
+
+
+@settings(max_examples=25, deadline=None)
+@given(_video_settings())
+def test_header_self_describing(settings_tuple):
+    num_frames, height, width, quality, gop_size, use_motion, seed = (
+        settings_tuple
+    )
+    frames = _frames(num_frames, height, width, seed)
+    encoded = encode_video(
+        frames,
+        fps=29.97,
+        quality=quality,
+        gop_size=gop_size,
+        use_motion=use_motion,
+    )
+    reader = BitstreamReader(encoded.data)
+    reader.read_magic()
+    assert reader.read_uvarint() == width
+    assert reader.read_uvarint() == height
+    assert reader.read_uvarint() == 8  # block size
+    assert reader.read_uvarint() == quality
+    assert reader.read_uvarint() == gop_size
+    assert reader.read_uvarint() == num_frames
+    assert reader.read_uvarint() == 29970  # fps millis

@@ -1,0 +1,153 @@
+"""Tests for Query/QuerySet and the match/detection records."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import Query, QuerySet
+from repro.core.results import Match, merge_matches
+from repro.errors import DetectionError
+from repro.minhash.family import MinHashFamily
+
+
+def _query_set(family, num=3):
+    cell_ids = {qid: np.arange(qid * 100, qid * 100 + 20) for qid in range(num)}
+    frames = {qid: 30 + qid * 10 for qid in range(num)}
+    return QuerySet.from_cell_ids(cell_ids, frames, family)
+
+
+class TestQuery:
+    def test_max_candidate_windows(self, family):
+        query = Query(
+            qid=0,
+            cell_ids=np.arange(5),
+            num_frames=60,
+            sketch=family.sketch(np.arange(5)),
+        )
+        # ceil(2.0 * 60 / 10) = 12
+        assert query.max_candidate_windows(10, 2.0) == 12
+        assert query.max_candidate_windows(7, 1.5) == 13
+
+    def test_rejects_empty_ids(self, family):
+        with pytest.raises(DetectionError):
+            Query(qid=0, cell_ids=np.array([]), num_frames=5,
+                  sketch=family.empty_sketch())
+
+    def test_rejects_bad_frames(self, family):
+        with pytest.raises(DetectionError):
+            Query(qid=0, cell_ids=np.arange(3), num_frames=0,
+                  sketch=family.sketch(np.arange(3)))
+
+    def test_rejects_bad_window_frames(self, family):
+        query = Query(qid=0, cell_ids=np.arange(3), num_frames=5,
+                      sketch=family.sketch(np.arange(3)))
+        with pytest.raises(DetectionError):
+            query.max_candidate_windows(0, 2.0)
+
+
+class TestQuerySet:
+    def test_construction(self, family):
+        queries = _query_set(family)
+        assert len(queries) == 3
+        assert queries.query_ids == [0, 1, 2]
+        assert 1 in queries and 99 not in queries
+
+    def test_sketches_offline(self, family):
+        queries = _query_set(family)
+        sketches = queries.sketches()
+        expected = family.sketch(np.arange(100, 120))
+        assert np.array_equal(sketches[1].values, expected.values)
+
+    def test_max_windows_map(self, family):
+        queries = _query_set(family)
+        caps = queries.max_windows_map(window_frames=10, tempo_scale=2.0)
+        assert caps[0] == 6   # ceil(2*30/10)
+        assert caps[2] == 10  # ceil(2*50/10)
+
+    def test_get_unknown_rejected(self, family):
+        with pytest.raises(DetectionError):
+            _query_set(family).get(42)
+
+    def test_duplicate_qid_rejected(self, family):
+        query = Query(qid=0, cell_ids=np.arange(3), num_frames=5,
+                      sketch=family.sketch(np.arange(3)))
+        with pytest.raises(DetectionError):
+            QuerySet([query, query], family)
+
+    def test_cross_family_rejected(self, family):
+        other = MinHashFamily(num_hashes=family.num_hashes, seed=999)
+        query = Query(qid=0, cell_ids=np.arange(3), num_frames=5,
+                      sketch=other.sketch(np.arange(3)))
+        with pytest.raises(DetectionError):
+            QuerySet([query], family)
+
+    def test_empty_rejected(self, family):
+        with pytest.raises(DetectionError):
+            QuerySet([], family)
+
+    def test_add_remove(self, family):
+        queries = _query_set(family)
+        new = Query(qid=9, cell_ids=np.arange(4), num_frames=8,
+                    sketch=family.sketch(np.arange(4)))
+        queries.add(new)
+        assert 9 in queries
+        queries.remove(9)
+        assert 9 not in queries
+
+    def test_add_duplicate_rejected(self, family):
+        queries = _query_set(family)
+        clone = Query(qid=0, cell_ids=np.arange(3), num_frames=5,
+                      sketch=family.sketch(np.arange(3)))
+        with pytest.raises(DetectionError):
+            queries.add(clone)
+
+    def test_remove_last_rejected(self, family):
+        queries = _query_set(family, num=1)
+        with pytest.raises(DetectionError):
+            queries.remove(0)
+
+    def test_missing_frame_count_rejected(self, family):
+        with pytest.raises(DetectionError):
+            QuerySet.from_cell_ids({0: np.arange(3)}, {}, family)
+
+
+class TestMatchRecords:
+    def test_position_is_end(self):
+        match = Match(qid=1, window_index=4, start_frame=10, end_frame=30,
+                      similarity=0.8)
+        assert match.position_frame == 30
+
+    def test_merge_overlapping(self):
+        matches = [
+            Match(1, 0, 0, 20, 0.7),
+            Match(1, 1, 10, 30, 0.9),
+            Match(1, 5, 100, 120, 0.75),
+        ]
+        detections = merge_matches(matches)
+        assert len(detections) == 2
+        first = detections[0]
+        assert (first.start_frame, first.end_frame) == (0, 30)
+        assert first.peak_similarity == 0.9
+        assert first.num_matches == 2
+
+    def test_merge_respects_gap(self):
+        matches = [Match(1, 0, 0, 10, 0.7), Match(1, 3, 14, 24, 0.7)]
+        assert len(merge_matches(matches, gap_frames=0)) == 2
+        assert len(merge_matches(matches, gap_frames=5)) == 1
+
+    def test_merge_separates_queries(self):
+        matches = [Match(1, 0, 0, 10, 0.7), Match(2, 0, 0, 10, 0.7)]
+        assert len(merge_matches(matches)) == 2
+
+    def test_merge_empty(self):
+        assert merge_matches([]) == []
+
+    def test_merge_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            merge_matches([], gap_frames=-1)
+
+    def test_merge_sorted_output(self):
+        matches = [Match(2, 0, 50, 60, 0.7), Match(1, 0, 0, 10, 0.7)]
+        detections = merge_matches(matches)
+        assert [d.qid for d in detections] == [1, 2]

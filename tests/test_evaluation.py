@@ -1,0 +1,186 @@
+"""Tests for the scoring rule, metrics, reporting and runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DetectorConfig
+from repro.core.results import Match
+from repro.errors import EvaluationError
+from repro.evaluation.metrics import (
+    PrecisionRecall,
+    is_correct_match,
+    score_matches,
+)
+from repro.evaluation.reporting import format_series, format_table
+from repro.evaluation.runner import PreparedWorkload, run_detector
+from repro.workloads.groundtruth import GroundTruth, Occurrence
+
+W = 10  # basic window length in frames for these tests
+
+
+def _match(qid=0, end=60, start=None):
+    start = (end - 40) if start is None else start
+    return Match(qid=qid, window_index=end // W, start_frame=start,
+                 end_frame=end, similarity=0.8)
+
+
+def _gt(*spans, stream_frames=1000):
+    occurrences = [Occurrence(qid, b, e) for qid, b, e in spans]
+    return GroundTruth(occurrences, stream_frames=stream_frames)
+
+
+class TestCorrectnessRule:
+    def test_position_inside_rule(self):
+        gt = _gt((0, 50, 90))
+        # Rule: begin + w <= p <= end + w -> [60, 100].
+        assert is_correct_match(_match(end=60), gt.occurrences_of(0), W)
+        assert is_correct_match(_match(end=100), gt.occurrences_of(0), W)
+        assert not is_correct_match(_match(end=59), gt.occurrences_of(0), W)
+        assert not is_correct_match(_match(end=101), gt.occurrences_of(0), W)
+
+    def test_no_occurrences_never_correct(self):
+        assert not is_correct_match(_match(), [], W)
+
+    def test_any_occurrence_suffices(self):
+        occurrences = [Occurrence(0, 500, 600), Occurrence(0, 50, 90)]
+        assert is_correct_match(_match(end=70), occurrences, W)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(EvaluationError):
+            is_correct_match(_match(), [], 0)
+
+
+class TestScoreMatches:
+    def test_perfect_run(self):
+        gt = _gt((0, 50, 90))
+        result = score_matches([_match(end=70), _match(end=80)], gt, W)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.num_detections == 1  # merged into one detection
+        assert result.num_matches == 2
+
+    def test_false_positive_hurts_precision(self):
+        gt = _gt((0, 50, 90))
+        matches = [_match(end=70), _match(end=700, start=660)]
+        result = score_matches(matches, gt, W)
+        assert result.num_detections == 2
+        assert result.precision == 0.5
+        assert result.recall == 1.0
+
+    def test_missed_occurrence_hurts_recall(self):
+        gt = _gt((0, 50, 90), (0, 500, 540))
+        result = score_matches([_match(end=70)], gt, W)
+        assert result.recall == 0.5
+        assert result.num_detected_occurrences == 1
+
+    def test_no_matches(self):
+        gt = _gt((0, 50, 90))
+        result = score_matches([], gt, W)
+        assert result.precision == 1.0  # nothing wrong was reported
+        assert result.recall == 0.0
+
+    def test_wrong_query_is_false_positive(self):
+        gt = _gt((0, 50, 90))
+        result = score_matches([_match(qid=1, end=70)], gt, W)
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+
+    def test_adjacent_matches_merge_within_window(self):
+        gt = _gt((0, 50, 90))
+        matches = [
+            _match(end=70, start=40),
+            _match(end=75, start=45),
+            _match(end=85, start=50),
+        ]
+        result = score_matches(matches, gt, W)
+        assert result.num_detections == 1
+
+    def test_distant_matches_stay_separate(self):
+        gt = _gt((0, 50, 90), (0, 300, 340))
+        matches = [_match(end=70), _match(end=320, start=290)]
+        result = score_matches(matches, gt, W)
+        assert result.num_detections == 2
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+
+    def test_f1(self):
+        pr = PrecisionRecall(
+            precision=0.5, recall=1.0, num_detections=2,
+            num_correct_detections=1, num_occurrences=1,
+            num_detected_occurrences=1, num_matches=2,
+        )
+        assert pr.f1 == pytest.approx(2 / 3)
+
+    def test_f1_zero(self):
+        pr = PrecisionRecall(0.0, 0.0, 0, 0, 1, 0, 0)
+        assert pr.f1 == 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(EvaluationError):
+            score_matches([], _gt((0, 1, 2)), 0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.23456], ["bb", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_format_series(self):
+        text = format_series("recall", [1, 2], [0.5, 0.75])
+        assert text == "recall: 1=0.5  2=0.75"
+
+    def test_format_series_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1, 2])
+
+
+class TestRunner:
+    def test_prepared_shapes(self, vs1_prepared, small_library):
+        assert vs1_prepared.stream_cell_ids.ndim == 1
+        assert set(vs1_prepared.query_cell_ids) == set(small_library.query_ids)
+        for qid, clip in small_library:
+            assert vs1_prepared.query_frames[qid] == clip.num_frames
+        assert vs1_prepared.prepare_seconds > 0
+
+    def test_subset_queries(self, vs1_prepared):
+        subset = vs1_prepared.subset_queries(2)
+        assert sorted(subset.query_cell_ids) == [0, 1]
+        assert subset.stream_cell_ids is vs1_prepared.stream_cell_ids
+
+    def test_run_detector_vs1_perfect(self, vs1_prepared):
+        config = DetectorConfig(num_hashes=192, threshold=0.7)
+        result = run_detector(vs1_prepared, config)
+        assert result.quality.recall == 1.0
+        assert result.quality.precision == 1.0
+        assert result.cpu_seconds > 0
+        assert result.stats.windows_processed > 0
+
+    def test_run_detector_vs2_detects_most(self, vs2_prepared):
+        config = DetectorConfig(num_hashes=192, threshold=0.7)
+        result = run_detector(vs2_prepared, config)
+        assert result.quality.recall >= 0.5
+        assert result.quality.precision >= 0.8
+
+    def test_family_seed_changes_estimates(self, vs1_prepared):
+        config = DetectorConfig(num_hashes=64, threshold=0.7)
+        a = run_detector(vs1_prepared, config, family_seed=0)
+        b = run_detector(vs1_prepared, config, family_seed=1)
+        # Different hash families give different similarity estimates.
+        sims_a = sorted(round(m.similarity, 6) for m in a.matches)
+        sims_b = sorted(round(m.similarity, 6) for m in b.matches)
+        assert sims_a != sims_b

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline lines. Examples are the public face of the library; a refactor
+that breaks one should fail the suite, not a user."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.mark.slow
+def test_quickstart():
+    output = _run("quickstart.py")
+    assert "Precision: 1.00" in output
+    assert "Recall: 1.00" in output
+    assert "Detections" in output
+
+
+@pytest.mark.slow
+def test_advertisement_monitoring():
+    output = _run("advertisement_monitoring.py")
+    assert "aired in full" in output
+    assert "TAMPERED" in output
+    assert "late subscription" in output
+
+
+@pytest.mark.slow
+def test_reordered_copy_detection():
+    output = _run("reordered_copy_detection.py")
+    assert "Bit : DETECTED" in output
+    assert "Seq : missed" in output
+    assert "Warp: missed" in output
+
+
+@pytest.mark.slow
+def test_compressed_domain_pipeline():
+    output = _run("compressed_domain_pipeline.py")
+    assert "Partial decode" in output
+    assert "Detected the re-compressed copy" in output
+
+
+@pytest.mark.slow
+def test_monitoring_service():
+    output = _run("monitoring_service.py")
+    assert "shift change" in output
+    assert "OK — aired assets detected" in output

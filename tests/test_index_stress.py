@@ -1,0 +1,102 @@
+"""Stress tests: online index maintenance equals bulk construction.
+
+After any sequence of inserts and removes, the Hash-Query structure must
+be indistinguishable (values, pointers, probe results) from an index
+bulk-built over the surviving query set — the property that makes online
+subscription trustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.hq import HashQueryIndex
+from repro.index.probe import probe_index, probe_index_reference
+from repro.minhash.family import MinHashFamily
+
+
+def _population(family, count, seed):
+    rng = np.random.default_rng(seed)
+    sketches = {}
+    lengths = {}
+    for qid in range(count):
+        elements = rng.choice(8000, size=int(rng.integers(8, 40)), replace=False)
+        sketches[qid] = family.sketch(elements)
+        lengths[qid] = int(rng.integers(2, 15))
+    return sketches, lengths
+
+
+def _same_structure(left: HashQueryIndex, right: HashQueryIndex) -> None:
+    assert left.num_queries == right.num_queries
+    for qid in left.query_ids:
+        assert np.array_equal(
+            left.sketch_values_of(qid), right.sketch_values_of(qid)
+        )
+        assert left.length_of(qid) == right.length_of(qid)
+    for row_left, row_right in zip(left.rows, right.rows):
+        assert [e.value for e in row_left] == [e.value for e in row_right]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["insert", "remove"]), st.integers(0, 11)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_online_maintenance_equals_bulk_build(operations):
+    family = MinHashFamily(num_hashes=24, seed=7)
+    sketches, lengths = _population(family, 12, seed=3)
+
+    # Start with half the population subscribed.
+    live = set(range(6))
+    online = HashQueryIndex.build(
+        {qid: sketches[qid] for qid in live},
+        {qid: lengths[qid] for qid in live},
+    )
+    for action, qid in operations:
+        if action == "insert" and qid not in live:
+            online.insert(qid, sketches[qid], lengths[qid])
+            live.add(qid)
+        elif action == "remove" and qid in live and len(live) > 1:
+            online.remove(qid)
+            live.discard(qid)
+    online.check_invariants()
+
+    bulk = HashQueryIndex.build(
+        {qid: sketches[qid] for qid in live},
+        {qid: lengths[qid] for qid in live},
+    )
+    _same_structure(online, bulk)
+
+    # Probes through both indexes agree, fast and reference alike.
+    rng = np.random.default_rng(11)
+    for _ in range(3):
+        window = family.sketch(rng.choice(8000, size=20, replace=False))
+        view = lambda related: {(e.qid, e.ge, e.lt) for e in related}
+        assert view(probe_index(window, online, 0.5)) == view(
+            probe_index(window, bulk, 0.5)
+        )
+        assert view(probe_index(window, online, 0.5)) == view(
+            probe_index_reference(window, online, 0.5)
+        )
+
+
+def test_interleaved_churn_visits_every_size():
+    """Grow to 20 queries one by one, then shrink to 1, checking
+    invariants at every step."""
+    family = MinHashFamily(num_hashes=16, seed=9)
+    sketches, lengths = _population(family, 20, seed=5)
+    index = HashQueryIndex.build({0: sketches[0]}, {0: lengths[0]})
+    for qid in range(1, 20):
+        index.insert(qid, sketches[qid], lengths[qid])
+        index.check_invariants()
+        assert index.num_queries == qid + 1
+    for qid in range(19, 0, -1):
+        index.remove(qid)
+        index.check_invariants()
+        assert index.num_queries == qid
+    assert np.array_equal(index.sketch_values_of(0), sketches[0].values)

@@ -1,0 +1,142 @@
+"""Tests for the LiveMonitor incremental front end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec.gop import encode_video
+from repro.config import DetectorConfig
+from repro.core.detector import StreamingDetector
+from repro.core.live import LiveMonitor
+from repro.core.query import QuerySet
+from repro.errors import DetectionError
+from repro.features.pipeline import FingerprintExtractor
+from repro.minhash.family import MinHashFamily
+from repro.video.synth import ClipSynthesizer
+
+KF_RATE = 1.0
+
+
+def _detector(query_ids, num_frames, threshold=0.7):
+    family = MinHashFamily(num_hashes=128, seed=5)
+    queries = QuerySet.from_cell_ids(
+        {0: np.asarray(query_ids)}, {0: num_frames}, family
+    )
+    config = DetectorConfig(
+        num_hashes=128, threshold=threshold, window_seconds=10.0
+    )
+    return StreamingDetector(config, queries, KF_RATE)
+
+
+def _monitor(query_ids, num_frames, **kwargs):
+    return LiveMonitor(
+        _detector(query_ids, num_frames, **kwargs), FingerprintExtractor()
+    )
+
+
+class TestBuffering:
+    def test_partial_pushes_buffer(self, rng):
+        monitor = _monitor(np.arange(1000, 1040), 40)
+        assert monitor.push_cell_ids(rng.integers(0, 500, size=7)) == []
+        assert monitor.pending_frames == 7
+        monitor.push_cell_ids(rng.integers(0, 500, size=7))
+        assert monitor.pending_frames == 4  # one full window consumed
+        assert monitor.frames_consumed == 10
+
+    def test_chunked_equals_oneshot(self, rng):
+        copy = np.arange(1000, 1040)
+        stream = np.concatenate(
+            [rng.integers(100_000, 500_000, size=53), copy,
+             rng.integers(100_000, 500_000, size=47)]
+        )
+
+        oneshot = _detector(copy, 40)
+        expected = {
+            (m.qid, m.start_frame, m.end_frame)
+            for m in oneshot.process_cell_ids(stream)
+        }
+
+        monitor = _monitor(copy, 40)
+        got = []
+        cursor = 0
+        chunk_sizes = [7, 13, 31, 9, 22, 50]
+        while cursor < len(stream):
+            size = chunk_sizes[len(got) % len(chunk_sizes)]
+            got.extend(monitor.push_cell_ids(stream[cursor : cursor + size]))
+            cursor += size
+        got.extend(monitor.flush())
+        assert {(m.qid, m.start_frame, m.end_frame) for m in got} == expected
+
+    def test_flush_processes_tail(self, rng):
+        monitor = _monitor(np.arange(1000, 1040), 40)
+        monitor.push_cell_ids(rng.integers(0, 500, size=15))
+        assert monitor.pending_frames == 5
+        monitor.flush()
+        assert monitor.pending_frames == 0
+
+    def test_push_after_flush_rejected(self, rng):
+        monitor = _monitor(np.arange(1000, 1040), 40)
+        monitor.flush()
+        with pytest.raises(DetectionError):
+            monitor.push_cell_ids(rng.integers(0, 500, size=5))
+
+    def test_double_flush_is_noop(self):
+        monitor = _monitor(np.arange(1000, 1040), 40)
+        assert monitor.flush() == []
+        assert monitor.flush() == []
+
+    def test_rejects_bad_shape(self):
+        monitor = _monitor(np.arange(1000, 1040), 40)
+        with pytest.raises(DetectionError):
+            monitor.push_cell_ids(np.zeros((2, 2)))
+
+
+class TestInputAdapters:
+    def test_push_frames_detects_copy(self):
+        synth = ClipSynthesizer(seed=31)
+        clip = synth.generate_clip(30.0, label="content", fps=2.0)
+        extractor = FingerprintExtractor()
+        query_ids = extractor.cell_ids_from_clip(clip)
+
+        detector = _detector(query_ids, clip.num_frames, threshold=0.6)
+        monitor = LiveMonitor(detector, extractor)
+        filler = synth.generate_clip(40.0, label="filler", fps=2.0)
+        matches = []
+        matches += monitor.push_frames(filler)
+        matches += monitor.push_frames(clip)
+        matches += monitor.push_frames(
+            synth.generate_clip(40.0, label="tail", fps=2.0)
+        )
+        matches += monitor.flush()
+        assert matches
+
+    def test_push_encoded_detects_copy(self):
+        synth = ClipSynthesizer(seed=32)
+        clip = synth.generate_clip(20.0, label="content", fps=2.0)
+        extractor = FingerprintExtractor()
+        encoded_query = encode_video(
+            clip.frames, fps=clip.fps, quality=90, gop_size=1
+        )
+        query_ids = extractor.cell_ids_from_encoded(encoded_query)
+
+        detector = _detector(query_ids, clip.num_frames, threshold=0.6)
+        monitor = LiveMonitor(detector, extractor)
+        filler = synth.generate_clip(30.0, label="filler", fps=2.0)
+        matches = []
+        matches += monitor.push_encoded(
+            encode_video(filler.frames, fps=filler.fps, quality=80, gop_size=1)
+        )
+        # The copy arrives re-compressed at a different quality.
+        matches += monitor.push_encoded(
+            encode_video(clip.frames, fps=clip.fps, quality=70, gop_size=1)
+        )
+        matches += monitor.flush()
+        assert matches
+
+    def test_push_clip_object(self):
+        synth = ClipSynthesizer(seed=33)
+        clip = synth.generate_clip(10.0, label="c", fps=2.0)
+        monitor = _monitor(np.arange(1000, 1040), 40)
+        monitor.push_frames(clip)  # accepted, no crash
+        assert monitor.frames_consumed + monitor.pending_frames == clip.num_frames

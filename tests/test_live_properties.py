@@ -1,0 +1,73 @@
+"""Hypothesis property test: LiveMonitor is chunking-invariant.
+
+However a stream is cut into pushes, the matches (and engine statistics)
+must equal the one-shot run — the property that makes live ingestion
+trustworthy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DetectorConfig
+from repro.core.detector import StreamingDetector
+from repro.core.live import LiveMonitor
+from repro.core.query import QuerySet
+from repro.features.pipeline import FingerprintExtractor
+from repro.minhash.family import MinHashFamily
+
+
+def _detector():
+    family = MinHashFamily(num_hashes=96, seed=5)
+    queries = QuerySet.from_cell_ids(
+        {0: np.arange(1000, 1060)}, {0: 60}, family
+    )
+    config = DetectorConfig(num_hashes=96, threshold=0.6, window_seconds=10.0)
+    return StreamingDetector(config, queries, 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    chunk_sizes=st.lists(st.integers(1, 47), min_size=1, max_size=40),
+    copy_offset=st.integers(0, 60),
+    seed=st.integers(0, 1000),
+)
+def test_chunking_invariance(chunk_sizes, copy_offset, seed):
+    rng = np.random.default_rng(seed)
+    copy = np.arange(1000, 1060)
+    stream = np.concatenate(
+        [
+            rng.integers(100_000, 900_000, size=copy_offset),
+            copy,
+            rng.integers(100_000, 900_000, size=40),
+        ]
+    )
+
+    reference = _detector()
+    expected_matches = {
+        (m.qid, m.start_frame, m.end_frame, round(m.similarity, 9))
+        for m in reference.process_cell_ids(stream)
+    }
+
+    monitor = LiveMonitor(_detector(), FingerprintExtractor())
+    got = []
+    cursor = 0
+    index = 0
+    while cursor < len(stream):
+        size = chunk_sizes[index % len(chunk_sizes)]
+        got.extend(monitor.push_cell_ids(stream[cursor : cursor + size]))
+        cursor += size
+        index += 1
+    got.extend(monitor.flush())
+
+    assert {
+        (m.qid, m.start_frame, m.end_frame, round(m.similarity, 9))
+        for m in got
+    } == expected_matches
+    assert expected_matches, "sanity: the exact copy must always be found"
+    assert (
+        monitor.detector.stats.windows_processed
+        == reference.stats.windows_processed
+    )

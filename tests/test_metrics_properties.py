@@ -1,0 +1,115 @@
+"""Hypothesis property tests over the scoring rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.results import Match
+from repro.evaluation.metrics import score_matches
+from repro.workloads.groundtruth import GroundTruth, Occurrence
+
+STREAM_FRAMES = 1000
+W = 10
+
+
+@st.composite
+def _matches(draw):
+    count = draw(st.integers(0, 25))
+    matches = []
+    for _ in range(count):
+        qid = draw(st.integers(0, 3))
+        start = draw(st.integers(0, STREAM_FRAMES - 20))
+        length = draw(st.integers(10, 120))
+        end = min(STREAM_FRAMES, start + length)
+        matches.append(
+            Match(
+                qid=qid,
+                window_index=end // W,
+                start_frame=start,
+                end_frame=end,
+                similarity=draw(st.floats(0.5, 1.0)),
+            )
+        )
+    return matches
+
+
+@st.composite
+def _ground_truth(draw):
+    count = draw(st.integers(1, 6))
+    occurrences = []
+    cursor = 0
+    for _ in range(count):
+        gap = draw(st.integers(5, 80))
+        length = draw(st.integers(20, 100))
+        begin = cursor + gap
+        end = begin + length
+        if end > STREAM_FRAMES:
+            break
+        occurrences.append(
+            Occurrence(qid=draw(st.integers(0, 3)), begin_frame=begin,
+                       end_frame=end)
+        )
+        cursor = end
+    if not occurrences:
+        occurrences = [Occurrence(qid=0, begin_frame=10, end_frame=50)]
+    return GroundTruth(occurrences, STREAM_FRAMES)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matches=_matches(), ground_truth=_ground_truth())
+def test_score_invariants(matches, ground_truth):
+    result = score_matches(matches, ground_truth, W)
+    assert 0.0 <= result.precision <= 1.0
+    assert 0.0 <= result.recall <= 1.0
+    assert 0.0 <= result.f1 <= 1.0
+    assert result.num_matches == len(matches)
+    assert result.num_correct_detections <= result.num_detections
+    assert result.num_detected_occurrences <= result.num_occurrences
+    assert result.num_occurrences == len(ground_truth)
+    if not matches:
+        assert result.precision == 1.0 and result.recall == 0.0
+    # Detections never exceed matches (merging only reduces).
+    assert result.num_detections <= len(matches)
+
+
+@settings(max_examples=40, deadline=None)
+@given(matches=_matches(), ground_truth=_ground_truth())
+def test_adding_perfect_matches_never_hurts_recall(matches, ground_truth):
+    baseline = score_matches(matches, ground_truth, W)
+    boosted = list(matches)
+    for occurrence in ground_truth:
+        boosted.append(
+            Match(
+                qid=occurrence.qid,
+                window_index=occurrence.end_frame // W,
+                start_frame=occurrence.begin_frame,
+                end_frame=occurrence.end_frame + W,
+                similarity=1.0,
+            )
+        )
+    result = score_matches(boosted, ground_truth, W)
+    assert result.recall >= baseline.recall
+    assert result.recall == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(ground_truth=_ground_truth(), seed=st.integers(0, 10_000))
+def test_pure_noise_matches_rarely_count_as_correct(ground_truth, seed):
+    """Matches for a query with no occurrences are always false."""
+    rng = np.random.default_rng(seed)
+    noise = [
+        Match(
+            qid=99,  # a query that never aired
+            window_index=0,
+            start_frame=int(rng.integers(0, 900)),
+            end_frame=int(rng.integers(900, 1000)),
+            similarity=0.9,
+        )
+        for _ in range(5)
+    ]
+    result = score_matches(noise, ground_truth, W)
+    assert result.num_correct_detections == 0
+    assert result.precision == 0.0
+    assert result.recall == 0.0

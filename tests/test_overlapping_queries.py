@@ -1,0 +1,141 @@
+"""Detection semantics with related / overlapping queries.
+
+Real subscription sets contain related material — a full film and a
+trailer cut from it, two versions of one ad. These tests pin how the
+engine behaves when query sets overlap or nest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DetectorConfig
+from repro.core.detector import StreamingDetector
+from repro.core.query import QuerySet
+from repro.minhash.family import MinHashFamily
+
+KF_RATE = 1.0
+
+
+def _detector(cell_id_map, frames_map, threshold=0.6):
+    family = MinHashFamily(num_hashes=256, seed=4)
+    queries = QuerySet.from_cell_ids(cell_id_map, frames_map, family)
+    config = DetectorConfig(
+        num_hashes=256, threshold=threshold, window_seconds=10.0
+    )
+    return StreamingDetector(config, queries, KF_RATE)
+
+
+class TestNestedQueries:
+    def test_superset_copy_matches_both(self, rng):
+        """A copy of the full video matches the full query and (as a
+        superset) the trailer query too — by Definition 2 the trailer's
+        Jaccard against a window covering it is its share of the union."""
+        full = np.arange(1000, 1100)       # 100 frames
+        trailer = np.arange(1000, 1030)    # its first 30 frames
+        detector = _detector(
+            {0: full, 1: trailer}, {0: 100, 1: 30}, threshold=0.85
+        )
+        stream = np.concatenate(
+            [rng.integers(100_000, 900_000, size=50), full,
+             rng.integers(100_000, 900_000, size=50)]
+        )
+        matches = detector.process_cell_ids(stream)
+        matched = {m.qid for m in matches}
+        assert 0 in matched, "the full query must match its copy"
+        # The trailer query can only reach J = 30/100 against windows
+        # spanning the full copy, but candidates covering just its span
+        # reach ~1.0 — so it matches as well.
+        assert 1 in matched
+
+    def test_trailer_copy_matches_only_trailer(self, rng):
+        """A trailer airing does NOT trigger the full-video query at a
+        high threshold (J = 30/100)."""
+        full = np.arange(1000, 1100)
+        trailer = np.arange(1000, 1030)
+        detector = _detector(
+            {0: full, 1: trailer}, {0: 100, 1: 30}, threshold=0.8
+        )
+        stream = np.concatenate(
+            [rng.integers(100_000, 900_000, size=50), trailer,
+             rng.integers(100_000, 900_000, size=50)]
+        )
+        matches = detector.process_cell_ids(stream)
+        matched = {m.qid for m in matches}
+        assert 1 in matched
+        assert 0 not in matched
+
+    def test_trailer_copy_triggers_full_at_loose_threshold(self, rng):
+        """At δ = 0.25 the 30 % overlap is a legitimate Definition-1
+        match for the full query too."""
+        full = np.arange(1000, 1100)
+        trailer = np.arange(1000, 1030)
+        detector = _detector(
+            {0: full, 1: trailer}, {0: 100, 1: 30}, threshold=0.25
+        )
+        stream = np.concatenate(
+            [rng.integers(100_000, 900_000, size=50), trailer,
+             rng.integers(100_000, 900_000, size=50)]
+        )
+        matched = {m.qid for m in detector.process_cell_ids(stream)}
+        assert matched == {0, 1}
+
+
+class TestSiblingQueries:
+    def test_half_overlapping_versions(self, rng):
+        """Two ad versions sharing half their content: a copy of version
+        A matches A strongly and B at ~J = 1/3."""
+        version_a = np.arange(1000, 1060)
+        version_b = np.concatenate(
+            [np.arange(1030, 1060), np.arange(5000, 5030)]
+        )
+        detector = _detector(
+            {0: version_a, 1: version_b}, {0: 60, 1: 60}, threshold=0.6
+        )
+        stream = np.concatenate(
+            [rng.integers(100_000, 900_000, size=50), version_a,
+             rng.integers(100_000, 900_000, size=50)]
+        )
+        matches = detector.process_cell_ids(stream)
+        matched = {m.qid for m in matches}
+        assert matched == {0}
+        # Version A's matches reach high similarity.
+        assert max(m.similarity for m in matches) > 0.9
+
+    def test_both_versions_airing_back_to_back(self, rng):
+        version_a = np.arange(1000, 1060)
+        version_b = np.concatenate(
+            [np.arange(1030, 1060), np.arange(5000, 5030)]
+        )
+        detector = _detector(
+            {0: version_a, 1: version_b}, {0: 60, 1: 60}, threshold=0.6
+        )
+        stream = np.concatenate(
+            [rng.integers(100_000, 900_000, size=50),
+             version_a, version_b,
+             rng.integers(100_000, 900_000, size=50)]
+        )
+        matches = detector.process_cell_ids(stream)
+        assert {m.qid for m in matches} == {0, 1}
+
+
+class TestDuplicateSubscription:
+    def test_identical_queries_both_fire(self, rng):
+        """Two subscribers monitoring the same content both get alerts."""
+        content = np.arange(1000, 1060)
+        detector = _detector(
+            {0: content, 1: content.copy()}, {0: 60, 1: 60}, threshold=0.7
+        )
+        stream = np.concatenate(
+            [rng.integers(100_000, 900_000, size=50), content,
+             rng.integers(100_000, 900_000, size=50)]
+        )
+        matches = detector.process_cell_ids(stream)
+        assert {m.qid for m in matches} == {0, 1}
+        by_query = {}
+        for match in matches:
+            by_query.setdefault(match.qid, set()).add(
+                (match.start_frame, match.end_frame, round(match.similarity, 9))
+            )
+        assert by_query[0] == by_query[1]

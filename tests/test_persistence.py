@@ -1,0 +1,110 @@
+"""Tests for query-set persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import QuerySet
+from repro.minhash.family import MinHashFamily
+from repro.persistence import (
+    PersistenceError,
+    load_query_set,
+    save_query_set,
+)
+
+
+@pytest.fixture()
+def query_set():
+    family = MinHashFamily(num_hashes=64, seed=12)
+    return QuerySet.from_cell_ids(
+        {
+            3: np.arange(100, 140),
+            7: np.arange(500, 520),
+            11: np.array([9, 3, 3, 77]),
+        },
+        {3: 40, 7: 20, 11: 4},
+        family,
+        labels={3: "ad-campaign", 7: "trailer", 11: "jingle"},
+    )
+
+
+class TestRoundtrip:
+    def test_queries_identical(self, query_set, tmp_path):
+        path = tmp_path / "queries.npz"
+        save_query_set(query_set, path)
+        restored = load_query_set(path)
+        assert restored.query_ids == query_set.query_ids
+        for qid in query_set.query_ids:
+            original = query_set.get(qid)
+            loaded = restored.get(qid)
+            assert np.array_equal(loaded.cell_ids, original.cell_ids)
+            assert loaded.num_frames == original.num_frames
+            assert loaded.label == original.label
+            assert np.array_equal(
+                loaded.sketch.values, original.sketch.values
+            )
+
+    def test_family_identical(self, query_set, tmp_path):
+        path = tmp_path / "queries.npz"
+        save_query_set(query_set, path)
+        restored = load_query_set(path)
+        assert restored.family.fingerprint == query_set.family.fingerprint
+
+    def test_restored_set_detects(self, query_set, tmp_path, rng):
+        """A reloaded subscription finds the same copies."""
+        from repro.config import DetectorConfig
+        from repro.core.detector import StreamingDetector
+
+        path = tmp_path / "queries.npz"
+        save_query_set(query_set, path)
+        restored = load_query_set(path)
+
+        stream = np.concatenate(
+            [rng.integers(100_000, 900_000, size=40),
+             np.arange(100, 140),
+             rng.integers(100_000, 900_000, size=40)]
+        )
+        config = DetectorConfig(num_hashes=64, threshold=0.7,
+                                window_seconds=10.0)
+        original_matches = StreamingDetector(
+            config, query_set, 1.0
+        ).process_cell_ids(stream)
+        restored_matches = StreamingDetector(
+            config, restored, 1.0
+        ).process_cell_ids(stream)
+        view = lambda ms: {(m.qid, m.start_frame, m.end_frame) for m in ms}
+        assert view(restored_matches) == view(original_matches)
+        assert view(original_matches), "sanity: the copy must be found"
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no query-set file"):
+            load_query_set(tmp_path / "absent.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(PersistenceError):
+            load_query_set(path)
+
+    def test_version_mismatch(self, query_set, tmp_path):
+        path = tmp_path / "queries.npz"
+        save_query_set(query_set, path)
+        archive = dict(np.load(path, allow_pickle=True))
+        archive["format_version"] = np.asarray([99])
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **archive, allow_pickle=True)
+        with pytest.raises(PersistenceError, match="format version 99"):
+            load_query_set(path)
+
+    def test_missing_field(self, query_set, tmp_path):
+        path = tmp_path / "queries.npz"
+        save_query_set(query_set, path)
+        archive = dict(np.load(path, allow_pickle=True))
+        del archive["cells_3"]
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **archive, allow_pickle=True)
+        with pytest.raises(PersistenceError, match="missing field"):
+            load_query_set(path)

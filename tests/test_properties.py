@@ -1,0 +1,139 @@
+"""Hypothesis property tests over the end-to-end detection engine.
+
+These run the full detector on randomly generated cell-id streams and
+assert the invariants the design guarantees:
+
+* an exact copy of a query, inserted anywhere, is always detected at the
+  paper's rule-compliant position (no false negatives for verbatim
+  copies);
+* match records are structurally sane (spans inside the stream,
+  similarities in [0, 1], positions monotone per candidate length cap);
+* the exact Jaccard similarity and the bit-signature estimate agree for
+  the same hash family (Lemma 1 end-to-end).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.membership import jaccard_similarity
+from repro.config import CombinationOrder, DetectorConfig, Representation
+from repro.core.detector import StreamingDetector
+from repro.core.query import QuerySet
+from repro.core.results import merge_matches
+from repro.minhash.family import MinHashFamily
+from repro.signature.bitsig import BitSignature
+
+
+def _detector(query_ids, num_frames, threshold=0.7, **config_overrides):
+    family = MinHashFamily(num_hashes=128, seed=5)
+    queries = QuerySet.from_cell_ids(
+        {0: np.asarray(query_ids)}, {0: num_frames}, family
+    )
+    defaults = dict(
+        num_hashes=128,
+        threshold=threshold,
+        window_seconds=10.0,
+        order=CombinationOrder.SEQUENTIAL,
+        representation=Representation.BIT,
+        use_index=True,
+    )
+    defaults.update(config_overrides)
+    return StreamingDetector(DetectorConfig(**defaults), queries, 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    offset=st.integers(min_value=0, max_value=120),
+    copy_frames=st.integers(min_value=30, max_value=80),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_exact_copy_always_detected(offset, copy_frames, seed):
+    """A verbatim copy at any alignment is found (rule-compliant position)."""
+    rng = np.random.default_rng(seed)
+    copy_ids = np.arange(1000, 1000 + copy_frames)
+    head = rng.integers(100_000, 900_000, size=offset)
+    tail = rng.integers(100_000, 900_000, size=60)
+    stream = np.concatenate([head, copy_ids, tail])
+
+    detector = _detector(copy_ids, copy_frames)
+    matches = detector.process_cell_ids(stream)
+    assert matches, "exact copy must be detected"
+    w = detector.window_frames
+    begin, end = offset, offset + copy_frames
+    assert any(
+        begin + w <= m.position_frame <= end + w for m in matches
+    ), "at least one match must satisfy the paper's position rule"
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    order=st.sampled_from(list(CombinationOrder)),
+    representation=st.sampled_from(list(Representation)),
+)
+def test_match_records_are_sane(seed, order, representation):
+    rng = np.random.default_rng(seed)
+    copy_ids = np.arange(1000, 1060)
+    stream = np.concatenate(
+        [
+            rng.integers(100_000, 900_000, size=50),
+            copy_ids,
+            rng.integers(100_000, 900_000, size=50),
+        ]
+    )
+    detector = _detector(
+        copy_ids, 60, threshold=0.5, order=order, representation=representation
+    )
+    matches = detector.process_cell_ids(stream)
+    cap_frames = detector.context.global_max_windows * detector.window_frames
+    for match in matches:
+        assert 0.0 <= match.similarity <= 1.0
+        assert 0 <= match.start_frame < match.end_frame <= len(stream)
+        assert match.end_frame - match.start_frame <= cap_frames
+        assert match.qid == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    left=st.sets(st.integers(0, 2000), min_size=5, max_size=80),
+    right=st.sets(st.integers(0, 2000), min_size=5, max_size=80),
+)
+def test_lemma1_estimates_jaccard_end_to_end(left, right):
+    """BitSignature similarity == sketch estimate ≈ exact Jaccard."""
+    family = MinHashFamily(num_hashes=1024, seed=9)
+    sketch_left = family.sketch(sorted(left))
+    sketch_right = family.sketch(sorted(right))
+    signature = BitSignature.encode(sketch_left, sketch_right)
+    assert signature.similarity == pytest.approx(
+        sketch_left.similarity(sketch_right)
+    )
+    exact = jaccard_similarity(sorted(left), sorted(right))
+    assert abs(signature.similarity - exact) < 0.1  # 1024 hashes, 5+ sigma
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_detections_cover_matches(seed):
+    rng = np.random.default_rng(seed)
+    copy_ids = np.arange(1000, 1060)
+    stream = np.concatenate(
+        [
+            rng.integers(100_000, 900_000, size=40),
+            copy_ids,
+            rng.integers(100_000, 900_000, size=40),
+        ]
+    )
+    detector = _detector(copy_ids, 60, threshold=0.5)
+    matches = detector.process_cell_ids(stream)
+    detections = merge_matches(matches, gap_frames=detector.window_frames)
+    for match in matches:
+        assert any(
+            d.qid == match.qid
+            and d.start_frame <= match.start_frame
+            and d.end_frame >= match.end_frame
+            for d in detections
+        ), "every match must be covered by a detection"
+    assert sum(d.num_matches for d in detections) == len(matches)

@@ -1,0 +1,53 @@
+"""Scale/stress test (marked slow): a longer run end to end.
+
+Exercises the full pipeline at several times the unit-test scale — a
+one-hour stream with 24 monitored queries — and asserts throughput and
+stability invariants: no errors, bounded memory (candidate list and
+signature counts), real-time-capable processing, and quality in the
+expected band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DetectorConfig, ScaleProfile
+from repro.evaluation.runner import PreparedWorkload, run_detector
+from repro.video.synth import ClipSynthesizer
+from repro.workloads.doctor import StreamDoctor
+from repro.workloads.library import ClipLibrary
+
+
+@pytest.mark.slow
+def test_one_hour_stream_stability():
+    profile = ScaleProfile(
+        keyframes_per_second=2.0,
+        stream_seconds=3600.0,
+        num_queries=24,
+        query_min_seconds=25.0,
+        query_max_seconds=60.0,
+    )
+    library = ClipLibrary(profile, ClipSynthesizer(seed=77), seed=77)
+    stream = StreamDoctor(profile, seed=77).build_vs2(library, noise_sigma=2.0)
+    prepared = PreparedWorkload.prepare(stream, library)
+
+    result = run_detector(prepared, DetectorConfig(num_hashes=400))
+    stats = result.stats
+
+    # Stability: the candidate list is bounded by the λL cap regardless
+    # of stream length.
+    assert stats.candidates_maintained.maximum <= 25  # ceil(2*120/10) + 1
+    # Memory: resident signatures stay in the tens, not thousands.
+    assert stats.signatures_maintained.maximum < 500
+    # Throughput: processing much faster than real time (3600 s of
+    # stream must take well under a minute of CPU here).
+    assert result.cpu_seconds < 60.0
+    stream_seconds = profile.stream_seconds
+    speedup = stream_seconds / result.cpu_seconds
+    print(f"\nthroughput: {speedup:.0f}x real time "
+          f"({stats.windows_processed} windows in {result.cpu_seconds:.2f}s)")
+    assert speedup > 60.0
+
+    # Quality stays in the VS2 band at this scale.
+    assert result.quality.precision >= 0.9
+    assert result.quality.recall >= 0.5

@@ -1,0 +1,107 @@
+"""Tests for the analytical estimator-theory helpers, validated against
+Monte-Carlo runs of the real sketches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchError
+from repro.minhash.family import MinHashFamily
+from repro.minhash.theory import (
+    estimator_stddev,
+    false_negative_probability,
+    false_positive_probability,
+    required_hashes,
+)
+
+
+class TestStddev:
+    def test_formula(self):
+        assert estimator_stddev(0.5, 100) == pytest.approx(0.05)
+        assert estimator_stddev(0.0, 100) == 0.0
+        assert estimator_stddev(1.0, 100) == 0.0
+
+    def test_decreases_with_k(self):
+        assert estimator_stddev(0.3, 400) < estimator_stddev(0.3, 100)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SketchError):
+            estimator_stddev(1.5, 100)
+        with pytest.raises(SketchError):
+            estimator_stddev(0.5, 0)
+
+    def test_matches_monte_carlo(self):
+        """Predicted sigma matches the empirical spread of real sketches."""
+        a = list(range(60))
+        b = list(range(30, 90))  # J = 1/3
+        num_hashes = 96
+        estimates = [
+            MinHashFamily(num_hashes=num_hashes, seed=s).sketch(a).similarity(
+                MinHashFamily(num_hashes=num_hashes, seed=s).sketch(b)
+            )
+            for s in range(60)
+        ]
+        predicted = estimator_stddev(1.0 / 3.0, num_hashes)
+        assert np.std(estimates) == pytest.approx(predicted, rel=0.4)
+
+
+class TestTailBounds:
+    def test_false_positive_shrinks_with_k(self):
+        loose = false_positive_probability(0.4, 0.7, 50)
+        tight = false_positive_probability(0.4, 0.7, 500)
+        assert tight < loose
+
+    def test_false_positive_at_threshold_is_one(self):
+        assert false_positive_probability(0.7, 0.7, 100) == 1.0
+
+    def test_false_negative_mirror(self):
+        assert false_negative_probability(0.6, 0.7, 100) == 1.0
+        assert false_negative_probability(0.9, 0.7, 400) < 1e-10
+
+    def test_bounds_hold_empirically(self):
+        """The Hoeffding bound really does bound the real sketches'
+        false-positive rate (J = 0.5 against δ = 0.7)."""
+        a = list(range(60))
+        b = list(range(20, 80))  # J = 0.5
+        num_hashes = 64
+        threshold = 0.7
+        trials = 80
+        false_positives = sum(
+            MinHashFamily(num_hashes=num_hashes, seed=s).sketch(a).similarity(
+                MinHashFamily(num_hashes=num_hashes, seed=s).sketch(b)
+            )
+            >= threshold
+            for s in range(trials)
+        )
+        bound = false_positive_probability(0.5, threshold, num_hashes)
+        assert false_positives / trials <= bound + 0.05
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(SketchError):
+            false_positive_probability(0.5, 1.5, 100)
+
+
+class TestRequiredHashes:
+    def test_reference_value(self):
+        # ln(100) / (2 * 0.01) = 230.26 -> 231.
+        assert required_hashes(0.1, 0.01) == 231
+
+    def test_tighter_margin_needs_more(self):
+        assert required_hashes(0.05) > required_hashes(0.2)
+
+    def test_lower_error_needs_more(self):
+        assert required_hashes(0.1, 0.001) > required_hashes(0.1, 0.1)
+
+    def test_guarantee_holds(self):
+        """At the recommended K, misclassification stays below target."""
+        margin, p = 0.15, 0.05
+        num_hashes = required_hashes(margin, p)
+        assert false_positive_probability(0.7 - margin, 0.7, num_hashes) <= p
+        assert false_negative_probability(0.7 + margin, 0.7, num_hashes) <= p
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SketchError):
+            required_hashes(0.0)
+        with pytest.raises(SketchError):
+            required_hashes(0.1, 1.0)

@@ -1,0 +1,167 @@
+"""Tests for the clip model, formats and resizing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.video.clip import VideoClip, concat_clips
+from repro.video.formats import NTSC, PAL, VideoFormat
+from repro.video.resize import bilinear_resize, bilinear_resize_stack
+
+
+def _clip(num_frames=10, height=16, width=24, fps=2.0, label="t", seed=0):
+    rng = np.random.default_rng(seed)
+    frames = rng.uniform(0, 255, size=(num_frames, height, width))
+    return VideoClip(frames=frames, fps=fps, label=label)
+
+
+class TestVideoFormat:
+    def test_ntsc_pal_relationship(self):
+        assert NTSC.fps == pytest.approx(29.97)
+        assert PAL.fps == 25.0
+        assert PAL.height > NTSC.height  # PAL has more lines
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(Exception):
+            VideoFormat("x", 0, 10, 10)
+        with pytest.raises(Exception):
+            VideoFormat("x", 10, 10, 0.0)
+
+    def test_scaled_snaps_to_block_multiples(self):
+        half = NTSC.scaled(0.5)
+        assert half.width % 8 == 0 and half.height % 8 == 0
+        assert half.fps == NTSC.fps
+
+    def test_scaled_floor(self):
+        tiny = NTSC.scaled(0.01)
+        assert tiny.width == 8 and tiny.height == 8
+
+    def test_default_formats_block_aligned(self):
+        for fmt in (NTSC, PAL):
+            assert fmt.width % 8 == 0 and fmt.height % 8 == 0
+
+
+class TestVideoClip:
+    def test_basic_properties(self):
+        clip = _clip(num_frames=10, fps=2.0)
+        assert clip.num_frames == 10
+        assert len(clip) == 10
+        assert clip.duration == pytest.approx(5.0)
+        assert clip.height == 16 and clip.width == 24
+
+    def test_rejects_empty(self):
+        with pytest.raises(VideoError):
+            VideoClip(frames=np.zeros((0, 4, 4)), fps=1.0)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(VideoError):
+            VideoClip(frames=np.zeros((4, 4)), fps=1.0)
+
+    def test_rejects_bad_fps(self):
+        with pytest.raises(VideoError):
+            VideoClip(frames=np.zeros((1, 4, 4)), fps=0.0)
+
+    def test_rejects_out_of_range_luminance(self):
+        with pytest.raises(VideoError):
+            VideoClip(frames=np.full((1, 4, 4), 300.0), fps=1.0)
+        with pytest.raises(VideoError):
+            VideoClip(frames=np.full((1, 4, 4), -5.0), fps=1.0)
+
+    def test_frame_at(self):
+        clip = _clip()
+        assert np.array_equal(clip.frame_at(3), clip.frames[3])
+        assert np.array_equal(clip.frame_at(-1), clip.frames[-1])
+
+    def test_subclip(self):
+        clip = _clip(num_frames=10)
+        sub = clip.subclip(2, 5)
+        assert sub.num_frames == 3
+        assert np.array_equal(sub.frames, clip.frames[2:5])
+
+    def test_subclip_bounds(self):
+        clip = _clip(num_frames=10)
+        with pytest.raises(VideoError):
+            clip.subclip(5, 5)
+        with pytest.raises(VideoError):
+            clip.subclip(-1, 5)
+        with pytest.raises(VideoError):
+            clip.subclip(0, 11)
+
+    def test_subclip_is_copy(self):
+        clip = _clip()
+        sub = clip.subclip(0, 2)
+        sub.frames[0, 0, 0] = 0.0
+        assert clip.frames[0, 0, 0] != 0.0 or clip.frames[0, 0, 0] == 0.0  # no crash
+        assert sub.frames.base is None
+
+    def test_with_label(self):
+        clip = _clip(label="a")
+        relabeled = clip.with_label("b")
+        assert relabeled.label == "b"
+        assert relabeled.frames is clip.frames
+
+    def test_repr(self):
+        assert "24x16" in repr(_clip())
+
+
+class TestConcat:
+    def test_concat_lengths(self):
+        a, b = _clip(num_frames=3, seed=1), _clip(num_frames=4, seed=2)
+        merged = concat_clips([a, b], label="m")
+        assert merged.num_frames == 7
+        assert np.array_equal(merged.frames[:3], a.frames)
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(VideoError):
+            concat_clips([])
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(VideoError):
+            concat_clips([_clip(), _clip(height=8)])
+
+    def test_rejects_fps_mismatch(self):
+        with pytest.raises(VideoError):
+            concat_clips([_clip(fps=2.0), _clip(fps=3.0)])
+
+
+class TestResize:
+    def test_identity_resize(self):
+        frame = np.random.default_rng(0).uniform(0, 255, size=(16, 24))
+        assert np.allclose(bilinear_resize(frame, 16, 24), frame)
+
+    def test_constant_frame_preserved(self):
+        frame = np.full((10, 10), 99.0)
+        assert np.allclose(bilinear_resize(frame, 17, 23), 99.0)
+
+    def test_mean_roughly_preserved(self):
+        frame = np.random.default_rng(1).uniform(0, 255, size=(32, 32))
+        resized = bilinear_resize(frame, 48, 48)
+        assert resized.mean() == pytest.approx(frame.mean(), rel=0.02)
+
+    def test_gradient_preserved(self):
+        frame = np.tile(np.linspace(0, 255, 32), (16, 1))
+        resized = bilinear_resize(frame, 16, 64)
+        assert (np.diff(resized[0]) >= -1e-9).all()
+
+    def test_downscale_shape(self):
+        frame = np.zeros((64, 88))
+        assert bilinear_resize(frame, 17, 23).shape == (17, 23)
+
+    def test_stack_matches_single(self):
+        rng = np.random.default_rng(2)
+        frames = rng.uniform(0, 255, size=(3, 16, 24))
+        stacked = bilinear_resize_stack(frames, 20, 30)
+        for i in range(3):
+            assert np.allclose(stacked[i], bilinear_resize(frames[i], 20, 30))
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(VideoError):
+            bilinear_resize(np.zeros((4, 4)), 0, 4)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(VideoError):
+            bilinear_resize(np.zeros((2, 2, 2)), 4, 4)
+        with pytest.raises(VideoError):
+            bilinear_resize_stack(np.zeros((2, 2)), 4, 4)

@@ -1,0 +1,274 @@
+"""Tests for the editing attacks and the reordering attack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoError
+from repro.features.dc_extract import block_means_from_frames
+from repro.features.normalize import normalize_features
+from repro.video.clip import VideoClip
+from repro.video.edits import (
+    EditPipeline,
+    add_noise,
+    adjust_brightness,
+    adjust_contrast,
+    change_resolution,
+    color_shift,
+    recompress,
+    resample_fps,
+)
+from repro.video.formats import PAL
+from repro.video.reorder import reorder_segments, split_into_segments
+from repro.video.synth import ClipSynthesizer
+
+
+@pytest.fixture(scope="module")
+def clip() -> VideoClip:
+    return ClipSynthesizer(seed=21).generate_clip(20.0, label="edit-me", fps=2.0)
+
+
+class TestBrightness:
+    def test_scales_luminance(self, clip):
+        bright = adjust_brightness(clip, 1.2)
+        mask = clip.frames * 1.2 <= 255.0
+        assert np.allclose(bright.frames[mask], clip.frames[mask] * 1.2)
+
+    def test_clips_at_255(self, clip):
+        bright = adjust_brightness(clip, 3.0)
+        assert bright.frames.max() <= 255.0
+
+    def test_rejects_nonpositive(self, clip):
+        with pytest.raises(VideoError):
+            adjust_brightness(clip, 0.0)
+
+    def test_does_not_mutate_input(self, clip):
+        before = clip.frames.copy()
+        adjust_brightness(clip, 1.5)
+        assert np.array_equal(clip.frames, before)
+
+    def test_normalized_features_invariant_without_clipping(self, clip):
+        # Eq. (1) cancels a pure gain as long as no pixel saturates.
+        dim = adjust_brightness(clip, 0.7)
+        original = normalize_features(block_means_from_frames(clip.frames))
+        dimmed = normalize_features(block_means_from_frames(dim.frames))
+        assert np.allclose(original, dimmed, atol=1e-9)
+
+
+class TestContrast:
+    def test_stretches_around_pivot(self, clip):
+        stretched = adjust_contrast(clip, 1.1)
+        assert stretched.frames.std() > clip.frames.std()
+
+    def test_rejects_nonpositive(self, clip):
+        with pytest.raises(VideoError):
+            adjust_contrast(clip, -1.0)
+
+
+class TestColorShift:
+    def test_deterministic(self, clip):
+        a = color_shift(clip, 0.4, seed=9)
+        b = color_shift(clip, 0.4, seed=9)
+        assert np.array_equal(a.frames, b.frames)
+
+    def test_seed_matters(self, clip):
+        a = color_shift(clip, 0.4, seed=9)
+        b = color_shift(clip, 0.4, seed=10)
+        assert not np.array_equal(a.frames, b.frames)
+
+    def test_zero_strength_is_identity(self, clip):
+        assert np.allclose(color_shift(clip, 0.0, seed=9).frames, clip.frames)
+
+    def test_luma_leakage_is_fractional(self, clip):
+        # A 50 % color change must move luminance by far less than 50 %.
+        shifted = color_shift(clip, 0.5, seed=9)
+        relative = np.abs(shifted.frames - clip.frames) / np.maximum(clip.frames, 1.0)
+        assert relative.max() < 0.10
+
+    def test_rejects_out_of_range(self, clip):
+        with pytest.raises(VideoError):
+            color_shift(clip, 1.5)
+
+
+class TestNoise:
+    def test_zero_sigma_is_identity(self, clip):
+        assert np.allclose(add_noise(clip, 0.0).frames, clip.frames)
+
+    def test_noise_magnitude(self, clip):
+        noisy = add_noise(clip, 5.0, seed=1)
+        diff = noisy.frames - clip.frames
+        assert 3.0 < diff.std() < 7.0
+
+    def test_rejects_negative(self, clip):
+        with pytest.raises(VideoError):
+            add_noise(clip, -1.0)
+
+
+class TestResolution:
+    def test_target_shape(self, clip):
+        resized = change_resolution(clip, PAL.height, PAL.width)
+        assert (resized.height, resized.width) == (PAL.height, PAL.width)
+        assert resized.num_frames == clip.num_frames
+
+    def test_block_means_preserved(self, clip):
+        # Fractional region averaging makes the fingerprint nearly
+        # resolution-invariant.
+        resized = change_resolution(clip, PAL.height, PAL.width)
+        original = block_means_from_frames(clip.frames)
+        scaled = block_means_from_frames(resized.frames)
+        assert np.abs(original - scaled).mean() < 1.0
+
+
+class TestResampleFps:
+    def test_preserves_duration(self, clip):
+        resampled = resample_fps(clip, clip.fps * 25.0 / 29.97)
+        assert resampled.duration == pytest.approx(clip.duration, rel=0.05)
+
+    def test_frame_count_scales(self, clip):
+        resampled = resample_fps(clip, clip.fps / 2)
+        assert resampled.num_frames == pytest.approx(clip.num_frames / 2, abs=1)
+
+    def test_upsampling_repeats_frames(self, clip):
+        resampled = resample_fps(clip, clip.fps * 2)
+        assert resampled.num_frames == pytest.approx(clip.num_frames * 2, abs=1)
+
+    def test_rejects_nonpositive(self, clip):
+        with pytest.raises(VideoError):
+            resample_fps(clip, 0.0)
+
+
+class TestRecompress:
+    def test_roundtrip_close_at_high_quality(self, clip):
+        short = clip.subclip(0, 4)
+        out = recompress(short, quality=90)
+        assert np.abs(out.frames - short.frames).mean() < 4.0
+
+    def test_low_quality_larger_error(self, clip):
+        short = clip.subclip(0, 4)
+        high = np.abs(recompress(short, 90).frames - short.frames).mean()
+        low = np.abs(recompress(short, 15).frames - short.frames).mean()
+        assert low > high
+
+
+class TestEditPipeline:
+    def test_deterministic_per_label(self, clip):
+        pipeline = EditPipeline(seed=5)
+        assert np.array_equal(pipeline.apply(clip).frames, pipeline.apply(clip).frames)
+
+    def test_output_format(self, clip):
+        edited = EditPipeline(seed=5).apply(clip)
+        assert (edited.height, edited.width) == (PAL.height, PAL.width)
+        assert edited.fps == pytest.approx(PAL.fps)
+
+    def test_different_clips_get_different_attacks(self):
+        synth = ClipSynthesizer(seed=21)
+        a = synth.generate_clip(10.0, label="a", fps=2.0)
+        b = a.with_label("b")
+        pipeline = EditPipeline(seed=5)
+        # Same pixels, different labels -> different attack draws.
+        assert not np.array_equal(
+            pipeline.apply(a).frames, pipeline.apply(b).frames
+        )
+
+    def test_vs2_label_suffix(self, clip):
+        assert EditPipeline(seed=5).apply(clip).label.endswith("+vs2")
+
+    def test_chroma_domain_variant(self, clip):
+        """The RGB-domain color attack yields a clip whose fingerprints
+        stay close to the grayscale model's — validating that the model
+        is a reasonable shortcut."""
+        from repro.baselines.membership import jaccard_similarity
+        from repro.features.pipeline import FingerprintExtractor
+
+        modelled = EditPipeline(seed=5).apply(clip)
+        physical = EditPipeline(seed=5, chroma_domain=True).apply(clip)
+        assert (physical.height, physical.width) == (
+            modelled.height,
+            modelled.width,
+        )
+        extractor = FingerprintExtractor()
+        original_ids = extractor.cell_ids_from_clip(clip)
+        # The physically-attacked copy must remain detectable content.
+        similarity = jaccard_similarity(
+            original_ids, extractor.cell_ids_from_clip(physical)
+        )
+        assert similarity > 0.5
+
+    def test_chroma_domain_deterministic(self, clip):
+        a = EditPipeline(seed=5, chroma_domain=True).apply(clip)
+        b = EditPipeline(seed=5, chroma_domain=True).apply(clip)
+        assert np.array_equal(a.frames, b.frames)
+
+
+class TestCompose:
+    def test_applies_left_to_right(self, clip):
+        from repro.video.edits import compose
+
+        pipeline = compose(
+            lambda c: adjust_brightness(c, 0.5),
+            lambda c: adjust_brightness(c, 2.0),
+        )
+        out = pipeline(clip)
+        # 0.5 then 2.0 cancels where no clipping occurred.
+        mask = clip.frames * 0.5 * 2.0 <= 255.0
+        assert np.allclose(out.frames[mask], clip.frames[mask])
+
+    def test_empty_compose_is_identity(self, clip):
+        from repro.video.edits import compose
+
+        assert compose()(clip) is clip
+
+
+class TestSegments:
+    def test_split_counts(self, clip):
+        segments = split_into_segments(clip, 4)
+        assert len(segments) == 4
+        assert sum(s.num_frames for s in segments) == clip.num_frames
+
+    def test_split_near_equal(self, clip):
+        segments = split_into_segments(clip, 4)
+        sizes = [s.num_frames for s in segments]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_split_rejects_too_many(self, clip):
+        with pytest.raises(VideoError):
+            split_into_segments(clip, clip.num_frames + 1)
+
+    def test_split_rejects_nonpositive(self, clip):
+        with pytest.raises(VideoError):
+            split_into_segments(clip, 0)
+
+
+class TestReorder:
+    def test_preserves_frame_multiset(self, clip):
+        reordered, _perm = reorder_segments(clip, 5, seed=3)
+        assert reordered.num_frames == clip.num_frames
+        assert np.allclose(
+            np.sort(reordered.frames.sum(axis=(1, 2))),
+            np.sort(clip.frames.sum(axis=(1, 2))),
+        )
+
+    def test_changes_order(self, clip):
+        reordered, permutation = reorder_segments(clip, 5, seed=3)
+        assert permutation != tuple(range(5))
+        assert not np.array_equal(reordered.frames, clip.frames)
+
+    def test_permutation_applies(self, clip):
+        reordered, permutation = reorder_segments(clip, 4, seed=3)
+        segments = split_into_segments(clip, 4)
+        expected = np.concatenate(
+            [segments[p].frames for p in permutation], axis=0
+        )
+        assert np.array_equal(reordered.frames, expected)
+
+    def test_single_segment_identity(self, clip):
+        reordered, permutation = reorder_segments(clip, 1, seed=3)
+        assert permutation == (0,)
+        assert np.array_equal(reordered.frames, clip.frames)
+
+    def test_deterministic(self, clip):
+        a, pa = reorder_segments(clip, 5, seed=3)
+        b, pb = reorder_segments(clip, 5, seed=3)
+        assert pa == pb
+        assert np.array_equal(a.frames, b.frames)

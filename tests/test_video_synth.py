@@ -1,0 +1,114 @@
+"""Tests for the synthetic content generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.dc_extract import block_means_from_frames
+from repro.video.formats import VideoFormat
+from repro.video.synth import ClipSynthesizer, SynthesisConfig
+
+
+class TestSynthesisConfig:
+    def test_defaults_valid(self):
+        SynthesisConfig()
+
+    def test_rejects_bad_shot_range(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(shot_seconds_min=5.0, shot_seconds_max=1.0)
+
+    def test_rejects_bad_luminance_range(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(luminance_low=100.0, luminance_high=50.0)
+
+
+class TestClipSynthesizer:
+    def test_determinism_by_label(self):
+        synth = ClipSynthesizer(seed=3)
+        a = synth.generate_clip(10.0, label="x", fps=2.0)
+        b = synth.generate_clip(10.0, label="x", fps=2.0)
+        assert np.array_equal(a.frames, b.frames)
+
+    def test_labels_differ(self):
+        synth = ClipSynthesizer(seed=3)
+        a = synth.generate_clip(10.0, label="x", fps=2.0)
+        b = synth.generate_clip(10.0, label="y", fps=2.0)
+        assert not np.array_equal(a.frames, b.frames)
+
+    def test_seeds_differ(self):
+        a = ClipSynthesizer(seed=1).generate_clip(10.0, label="x", fps=2.0)
+        b = ClipSynthesizer(seed=2).generate_clip(10.0, label="x", fps=2.0)
+        assert not np.array_equal(a.frames, b.frames)
+
+    def test_order_independent(self):
+        synth1 = ClipSynthesizer(seed=3)
+        synth1.generate_clip(5.0, label="first", fps=2.0)
+        later = synth1.generate_clip(10.0, label="x", fps=2.0)
+        fresh = ClipSynthesizer(seed=3).generate_clip(10.0, label="x", fps=2.0)
+        assert np.array_equal(later.frames, fresh.frames)
+
+    def test_duration_and_fps(self):
+        clip = ClipSynthesizer(seed=0).generate_clip(12.0, label="x", fps=2.5)
+        assert clip.num_frames == 30
+        assert clip.fps == 2.5
+
+    def test_default_fps_from_format(self):
+        fmt = VideoFormat("t", 24, 16, 4.0)
+        synth = ClipSynthesizer(SynthesisConfig(video_format=fmt), seed=0)
+        clip = synth.generate_clip(3.0, label="x")
+        assert clip.fps == 4.0
+        assert clip.num_frames == 12
+        assert (clip.height, clip.width) == (16, 24)
+
+    def test_luminance_in_range(self):
+        clip = ClipSynthesizer(seed=0).generate_clip(20.0, label="x", fps=2.0)
+        assert clip.frames.min() >= 0.0
+        assert clip.frames.max() <= 255.0
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(Exception):
+            ClipSynthesizer(seed=0).generate_clip(0.0, label="x")
+
+    def test_minimum_one_frame(self):
+        clip = ClipSynthesizer(seed=0).generate_clip(0.01, label="x", fps=1.0)
+        assert clip.num_frames == 1
+
+
+class TestContentStatistics:
+    """The properties the detector relies on (see module docstring)."""
+
+    def test_shot_structure_exists(self):
+        # Block features should change abruptly at shot cuts: the maximum
+        # frame-to-frame feature jump must far exceed the median jump.
+        clip = ClipSynthesizer(seed=11).generate_clip(60.0, label="s", fps=2.0)
+        means = block_means_from_frames(clip.frames)
+        jumps = np.abs(np.diff(means, axis=0)).mean(axis=1)
+        assert jumps.max() > 5 * np.median(jumps)
+
+    def test_within_shot_coherence(self):
+        # Consecutive frames are usually similar: median jump is small
+        # relative to the overall feature spread.
+        clip = ClipSynthesizer(seed=11).generate_clip(60.0, label="s", fps=2.0)
+        means = block_means_from_frames(clip.frames)
+        jumps = np.abs(np.diff(means, axis=0)).mean(axis=1)
+        spread = means.max() - means.min()
+        assert np.median(jumps) < 0.1 * spread
+
+    def test_clips_decorrelate(self):
+        synth = ClipSynthesizer(seed=11)
+        a = synth.generate_clip(30.0, label="a", fps=2.0)
+        b = synth.generate_clip(30.0, label="b", fps=2.0)
+        means_a = block_means_from_frames(a.frames).mean(axis=0)
+        means_b = block_means_from_frames(b.frames).mean(axis=0)
+        # Different clips have different spatial layouts.
+        assert np.abs(means_a - means_b).mean() > 5.0
+
+    def test_motion_jitters_features(self):
+        # Within-shot feature jitter must be non-zero (the dithering the
+        # set-similarity measure depends on).
+        synth = ClipSynthesizer(seed=11)
+        clip = synth.generate_clip(10.0, label="m", fps=2.0)
+        means = block_means_from_frames(clip.frames)
+        per_block_std = means.std(axis=0)
+        assert per_block_std.mean() > 0.5

@@ -1,0 +1,220 @@
+"""Tests for the clip library, stream doctoring and ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ScaleProfile
+from repro.errors import WorkloadError
+from repro.video.synth import ClipSynthesizer
+from repro.workloads.doctor import StreamDoctor
+from repro.workloads.groundtruth import GroundTruth, Occurrence
+from repro.workloads.library import ClipLibrary
+
+
+class TestOccurrence:
+    def test_properties(self):
+        occ = Occurrence(qid=3, begin_frame=10, end_frame=50)
+        assert occ.num_frames == 40
+
+    def test_rejects_empty_span(self):
+        with pytest.raises(WorkloadError):
+            Occurrence(qid=0, begin_frame=10, end_frame=10)
+
+    def test_rejects_negative_begin(self):
+        with pytest.raises(WorkloadError):
+            Occurrence(qid=0, begin_frame=-1, end_frame=5)
+
+
+class TestGroundTruth:
+    def test_sorted_iteration(self):
+        occurrences = [
+            Occurrence(1, 50, 60),
+            Occurrence(0, 10, 20),
+        ]
+        gt = GroundTruth(occurrences, stream_frames=100)
+        assert [o.begin_frame for o in gt] == [10, 50]
+        assert len(gt) == 2
+
+    def test_by_query(self):
+        occurrences = [Occurrence(1, 50, 60), Occurrence(1, 70, 80)]
+        gt = GroundTruth(occurrences, stream_frames=100)
+        assert gt.query_ids == [1]
+        assert len(gt.occurrences_of(1)) == 2
+        assert gt.occurrences_of(9) == []
+
+    def test_rejects_out_of_stream(self):
+        with pytest.raises(WorkloadError):
+            GroundTruth([Occurrence(0, 90, 120)], stream_frames=100)
+
+    def test_rejects_bad_stream_frames(self):
+        with pytest.raises(WorkloadError):
+            GroundTruth([], stream_frames=0)
+
+
+class TestClipLibrary:
+    def test_count_and_ids(self, small_profile, synthesizer):
+        library = ClipLibrary(small_profile, synthesizer, seed=1)
+        assert len(library) == small_profile.num_queries
+        assert library.query_ids == list(range(small_profile.num_queries))
+
+    def test_durations_in_range(self, small_profile, synthesizer):
+        library = ClipLibrary(small_profile, synthesizer, seed=1)
+        for _qid, clip in library:
+            assert (
+                small_profile.query_min_seconds - 1
+                <= clip.duration
+                <= small_profile.query_max_seconds + 1
+            )
+
+    def test_deterministic(self, small_profile, synthesizer):
+        a = ClipLibrary(small_profile, synthesizer, seed=1)
+        b = ClipLibrary(small_profile, synthesizer, seed=1)
+        for qid in a.query_ids:
+            assert np.array_equal(a.clip(qid).frames, b.clip(qid).frames)
+
+    def test_clips_distinct(self, small_library):
+        ids = small_library.query_ids
+        assert not np.array_equal(
+            small_library.clip(ids[0]).frames[0],
+            small_library.clip(ids[1]).frames[0],
+        )
+
+    def test_unknown_clip_rejected(self, small_library):
+        with pytest.raises(WorkloadError):
+            small_library.clip(999)
+
+    def test_subset(self, small_library):
+        subset = small_library.subset(3)
+        assert len(subset) == 3
+        assert subset.query_ids == small_library.query_ids[:3]
+        assert subset.clip(0) is small_library.clip(0)
+
+    def test_subset_bounds(self, small_library):
+        with pytest.raises(WorkloadError):
+            small_library.subset(0)
+        with pytest.raises(WorkloadError):
+            small_library.subset(len(small_library) + 1)
+
+    def test_generate_convenience(self):
+        library = ClipLibrary.generate(ScaleProfile.smoke_scale(), seed=2)
+        assert len(library) == ScaleProfile.smoke_scale().num_queries
+
+
+class TestStreamDoctorVs1:
+    def test_every_clip_inserted_once(self, vs1_stream, small_library):
+        gt = vs1_stream.ground_truth
+        assert sorted(o.qid for o in gt) == small_library.query_ids
+
+    def test_occurrences_disjoint(self, vs1_stream):
+        spans = sorted(
+            (o.begin_frame, o.end_frame) for o in vs1_stream.ground_truth
+        )
+        for (b1, e1), (b2, e2) in zip(spans, spans[1:]):
+            assert e1 <= b2
+
+    def test_stream_length_matches_profile(self, vs1_stream, small_profile):
+        expected = small_profile.seconds_to_keyframes(small_profile.stream_seconds)
+        assert vs1_stream.clip.num_frames == expected
+
+    def test_inserted_content_verbatim(self, vs1_stream, small_library):
+        for occurrence in vs1_stream.ground_truth:
+            clip = small_library.clip(occurrence.qid)
+            segment = vs1_stream.clip.frames[
+                occurrence.begin_frame : occurrence.end_frame
+            ]
+            assert np.allclose(segment, clip.frames)
+
+    def test_deterministic(self, small_profile, small_library):
+        a = StreamDoctor(small_profile, seed=99).build_vs1(small_library)
+        b = StreamDoctor(small_profile, seed=99).build_vs1(small_library)
+        assert np.array_equal(a.clip.frames, b.clip.frames)
+        assert [(o.qid, o.begin_frame) for o in a.ground_truth] == [
+            (o.qid, o.begin_frame) for o in b.ground_truth
+        ]
+
+    def test_seed_changes_layout(self, small_profile, small_library):
+        a = StreamDoctor(small_profile, seed=1).build_vs1(small_library)
+        b = StreamDoctor(small_profile, seed=2).build_vs1(small_library)
+        assert [o.begin_frame for o in a.ground_truth] != [
+            o.begin_frame for o in b.ground_truth
+        ]
+
+
+class TestStreamDoctorVs2:
+    def test_every_clip_inserted_once(self, vs2_stream, small_library):
+        assert sorted(o.qid for o in vs2_stream.ground_truth) == (
+            small_library.query_ids
+        )
+
+    def test_inserts_are_edited(self, vs2_stream, small_library):
+        """VS2 content must differ from the originals (attacks applied)."""
+        for occurrence in vs2_stream.ground_truth:
+            clip = small_library.clip(occurrence.qid)
+            segment = vs2_stream.clip.frames[
+                occurrence.begin_frame : occurrence.end_frame
+            ]
+            # Re-timing changes the frame count (PAL cadence).
+            assert segment.shape[0] != clip.num_frames or not np.allclose(
+                segment[:, : clip.height, : clip.width], clip.frames
+            )
+
+    def test_retiming_shortens_copies(self, vs2_stream, small_library):
+        ratio_sum = 0.0
+        for occurrence in vs2_stream.ground_truth:
+            original = small_library.clip(occurrence.qid).num_frames
+            ratio_sum += occurrence.num_frames / original
+        mean_ratio = ratio_sum / len(vs2_stream.ground_truth)
+        assert mean_ratio == pytest.approx(25.0 / 29.97, abs=0.05)
+
+    def test_pal_geometry(self, vs2_stream):
+        from repro.video.formats import PAL
+
+        assert (vs2_stream.clip.height, vs2_stream.clip.width) == (
+            PAL.height,
+            PAL.width,
+        )
+
+    def test_rejects_bad_reorder_range(self, small_profile, small_library):
+        doctor = StreamDoctor(small_profile, seed=1)
+        with pytest.raises(WorkloadError):
+            doctor.build_vs2(
+                small_library, reorder_min_segments=5, reorder_max_segments=2
+            )
+
+    def test_rejects_bad_reorder_mode(self, small_profile, small_library):
+        doctor = StreamDoctor(small_profile, seed=1)
+        with pytest.raises(WorkloadError):
+            doctor.build_vs2(small_library, reorder_mode="random")
+
+    def test_shot_aligned_reorder_mode(self, small_profile, small_library):
+        """VS2 with shot-aligned cuts still detects at high quality —
+        the set measure does not care where the cuts fall."""
+        from repro.config import DetectorConfig
+        from repro.evaluation.runner import PreparedWorkload, run_detector
+
+        doctor = StreamDoctor(small_profile, seed=1)
+        stream = doctor.build_vs2(
+            small_library, noise_sigma=2.0, reorder_mode="shots"
+        )
+        assert sorted(o.qid for o in stream.ground_truth) == (
+            small_library.query_ids
+        )
+        prepared = PreparedWorkload.prepare(stream, small_library)
+        result = run_detector(prepared, DetectorConfig(num_hashes=192))
+        assert result.quality.precision >= 0.9
+        assert result.quality.recall >= 0.5
+
+
+class TestCapacity:
+    def test_overfull_stream_rejected(self, synthesizer):
+        profile = ScaleProfile(
+            stream_seconds=30.0,
+            num_queries=4,
+            query_min_seconds=10.0,
+            query_max_seconds=12.0,
+        )
+        library = ClipLibrary(profile, synthesizer, seed=1)
+        with pytest.raises(WorkloadError, match="increase stream_seconds"):
+            StreamDoctor(profile, seed=1).build_vs1(library)
