@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.conftest import dump_metrics_snapshot
 from repro.config import DetectorConfig
 from repro.evaluation.reporting import format_series, format_table
 from repro.evaluation.runner import run_detector
@@ -32,6 +33,7 @@ def test_fig10a_signatures_vs_delta(benchmark, vs2_prepared):
             result = run_detector(
                 vs2_prepared, DetectorConfig(num_hashes=400, threshold=delta)
             )
+            dump_metrics_snapshot(f"fig10a_delta{delta}", result.metrics)
             counts.append(result.stats.avg_signatures)
         return counts
 

@@ -23,6 +23,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks.conftest import dump_metrics_snapshot
 from repro.config import CombinationOrder, DetectorConfig, Representation
 from repro.evaluation.ascii_chart import render_chart
 from repro.evaluation.reporting import format_series, format_table
@@ -117,6 +118,9 @@ def test_fig6_cost_vs_k(benchmark, vs1_prepared):
                     use_index=False,
                 )
                 result = run_detector(vs1_prepared, config)
+                dump_metrics_snapshot(
+                    f"fig6_{name}_K{num_hashes}", result.metrics
+                )
                 modeled[name].append(_model_cost(result.stats, costs))
                 wall[name].append(result.cpu_seconds)
         return modeled, wall

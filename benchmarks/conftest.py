@@ -14,6 +14,10 @@ paper's orders of magnitude.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.config import ScaleProfile
@@ -24,6 +28,21 @@ from repro.workloads.doctor import StreamDoctor
 from repro.workloads.library import ClipLibrary
 
 BENCH_SEED = 20080407  # ICDE 2008 in Cancún
+
+
+def dump_metrics_snapshot(name: str, metrics: dict) -> "Path | None":
+    """Write a run's ``repro.obs/1`` snapshot for offline analysis.
+
+    Gated on ``$BENCH_METRICS_DIR`` so benchmark runs stay side-effect
+    free by default; see docs/observability.md.
+    """
+    directory = os.environ.get("BENCH_METRICS_DIR")
+    if not directory:
+        return None
+    path = Path(directory) / f"{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

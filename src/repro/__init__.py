@@ -43,6 +43,8 @@ from repro.minhash.bottomk import BottomKFamily, BottomKSketch
 from repro.minhash.family import MinHashFamily
 from repro.minhash.sketch import Sketch
 from repro.minhash.windows import BasicWindow, iter_basic_windows
+from repro.obs.export import logfmt_digest, snapshot, to_json
+from repro.obs.registry import MetricsRegistry, PhaseTimer
 from repro.partition.gridpyramid import GridPyramidPartitioner
 from repro.persistence import load_query_set, save_query_set
 from repro.signature.bitsig import BitSignature
@@ -74,8 +76,10 @@ __all__ = [
     "HashQueryIndex",
     "LiveMonitor",
     "Match",
+    "MetricsRegistry",
     "MinHashFamily",
     "Occurrence",
+    "PhaseTimer",
     "PrecisionRecall",
     "PreparedWorkload",
     "Query",
@@ -91,9 +95,12 @@ __all__ = [
     "__version__",
     "iter_basic_windows",
     "load_query_set",
+    "logfmt_digest",
     "merge_matches",
     "probe_index",
     "run_detector",
     "save_query_set",
     "score_matches",
+    "snapshot",
+    "to_json",
 ]

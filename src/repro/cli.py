@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the workflow a user of the original system would
+Four subcommands cover the workflow a user of the original system would
 need without writing Python:
 
 * ``demo``   — build a seeded synthetic workload (VS1 or VS2), run the
@@ -8,13 +8,21 @@ need without writing Python:
 * ``sweep``  — sweep one detector parameter (K, delta or w) over the
   same workload and print the resulting series, the way the paper's
   figures are produced.
+* ``stats``  — run the detector once and emit its full observability
+  snapshot (phase timers + engine counters) as JSON plus a one-line
+  logfmt digest.
 * ``inspect``— encode a synthetic clip through the toy codec and report
   the bitstream structure plus partial-decode statistics.
+
+``demo``, ``sweep`` and ``stats`` all accept ``--metrics-out PATH`` to
+write the same ``repro.obs/1`` JSON snapshot benchmarks dump next to
+their figures (sweeps write one snapshot per swept value).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -28,11 +36,36 @@ from repro.config import (
 from repro.core.results import merge_matches
 from repro.evaluation.reporting import format_series, format_table
 from repro.evaluation.runner import PreparedWorkload, run_detector
+from repro.obs.registry import MetricsRegistry
+from repro.obs.export import logfmt_digest
 from repro.video.synth import ClipSynthesizer
 from repro.workloads.doctor import StreamDoctor
 from repro.workloads.library import ClipLibrary
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    """Workload-construction options shared by demo/sweep/stats."""
+    parser.add_argument("--stream", choices=("vs1", "vs2"), default="vs2",
+                        help="original inserts (vs1) or attacked ones (vs2)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--queries", type=int, default=6)
+    parser.add_argument("--stream-seconds", type=float, default=900.0)
+
+
+def _add_detector_args(parser: argparse.ArgumentParser) -> None:
+    """Detector-configuration options shared by demo/stats."""
+    parser.add_argument("--hashes", type=int, default=400, metavar="K")
+    parser.add_argument("--threshold", type=float, default=0.7,
+                        metavar="DELTA")
+    parser.add_argument("--window-seconds", type=float, default=5.0,
+                        metavar="W")
+    parser.add_argument("--order", choices=("sequential", "geometric"),
+                        default="sequential")
+    parser.add_argument("--representation", choices=("bit", "sketch"),
+                        default="bit")
+    parser.add_argument("--no-index", action="store_true")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,19 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo = subparsers.add_parser(
         "demo", help="build a synthetic workload and run the detector"
     )
-    demo.add_argument("--stream", choices=("vs1", "vs2"), default="vs2",
-                      help="original inserts (vs1) or attacked ones (vs2)")
-    demo.add_argument("--seed", type=int, default=42)
-    demo.add_argument("--queries", type=int, default=6)
-    demo.add_argument("--stream-seconds", type=float, default=900.0)
-    demo.add_argument("--hashes", type=int, default=400, metavar="K")
-    demo.add_argument("--threshold", type=float, default=0.7, metavar="DELTA")
-    demo.add_argument("--window-seconds", type=float, default=5.0, metavar="W")
-    demo.add_argument("--order", choices=("sequential", "geometric"),
-                      default="sequential")
-    demo.add_argument("--representation", choices=("bit", "sketch"),
-                      default="bit")
-    demo.add_argument("--no-index", action="store_true")
+    _add_workload_args(demo)
+    _add_detector_args(demo)
+    demo.add_argument("--metrics-out", metavar="PATH", default=None,
+                      help="write the run's JSON metrics snapshot here")
 
     sweep = subparsers.add_parser(
         "sweep", help="sweep one detector parameter over a workload"
@@ -67,10 +91,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("parameter", choices=("hashes", "threshold", "window"))
     sweep.add_argument("values", nargs="+", type=float,
                        help="parameter values to sweep")
-    sweep.add_argument("--stream", choices=("vs1", "vs2"), default="vs2")
-    sweep.add_argument("--seed", type=int, default=42)
-    sweep.add_argument("--queries", type=int, default=6)
-    sweep.add_argument("--stream-seconds", type=float, default=900.0)
+    _add_workload_args(sweep)
+    sweep.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write one JSON metrics snapshot per swept "
+                       "value here")
+
+    stats = subparsers.add_parser(
+        "stats", help="run the detector and emit its metrics snapshot"
+    )
+    _add_workload_args(stats)
+    _add_detector_args(stats)
+    stats.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the JSON snapshot here instead of stdout")
+    stats.add_argument("--no-timers", action="store_true",
+                       help="disable phase wall-clock timers (counters "
+                       "only)")
 
     inspect = subparsers.add_parser(
         "inspect", help="encode a synthetic clip and inspect the bitstream"
@@ -106,9 +141,8 @@ def _build_workload(args: argparse.Namespace) -> PreparedWorkload:
     return PreparedWorkload.prepare(stream, library)
 
 
-def _command_demo(args: argparse.Namespace) -> int:
-    prepared = _build_workload(args)
-    config = DetectorConfig(
+def _detector_config(args: argparse.Namespace) -> DetectorConfig:
+    return DetectorConfig(
         num_hashes=args.hashes,
         threshold=args.threshold,
         window_seconds=args.window_seconds,
@@ -116,6 +150,18 @@ def _command_demo(args: argparse.Namespace) -> int:
         representation=Representation(args.representation),
         use_index=not args.no_index,
     )
+
+
+def _write_metrics(path: str, payload: object) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"metrics snapshot written to {path}")
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    prepared = _build_workload(args)
+    config = _detector_config(args)
     result = run_detector(prepared, config)
     window_frames = max(
         1, round(args.window_seconds * prepared.keyframes_per_second)
@@ -136,6 +182,8 @@ def _command_demo(args: argparse.Namespace) -> int:
           f"recall={result.quality.recall:.3f} "
           f"cpu={result.cpu_seconds:.3f}s "
           f"avg_signatures={result.stats.avg_signatures:.1f}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, result.metrics)
     return 0
 
 
@@ -144,6 +192,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     precisions: List[float] = []
     recalls: List[float] = []
     cpu: List[float] = []
+    snapshots: List[dict] = []
     for value in args.values:
         if args.parameter == "hashes":
             config = DetectorConfig(num_hashes=int(value))
@@ -155,10 +204,31 @@ def _command_sweep(args: argparse.Namespace) -> int:
         precisions.append(result.quality.precision)
         recalls.append(result.quality.recall)
         cpu.append(result.cpu_seconds)
+        snapshots.append(
+            {"parameter": args.parameter, "value": value,
+             "metrics": result.metrics}
+        )
     print()
     print(format_series("precision", args.values, precisions))
     print(format_series("recall", args.values, recalls))
     print(format_series("cpu_seconds", args.values, cpu))
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, snapshots)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    prepared = _build_workload(args)
+    config = _detector_config(args)
+    registry = MetricsRegistry(timing_enabled=not args.no_timers)
+    result = run_detector(prepared, config, registry=registry)
+    print()
+    print(logfmt_digest(registry))
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, result.metrics)
+    else:
+        print()
+        print(json.dumps(result.metrics, indent=2, sort_keys=True))
     return 0
 
 
@@ -203,6 +273,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_demo(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "stats":
+        return _command_stats(args)
     return _command_inspect(args)
 
 

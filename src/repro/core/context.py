@@ -22,6 +22,7 @@ from repro.core.query import QuerySet
 from repro.errors import DetectionError
 from repro.index.hq import HashQueryIndex
 from repro.index.probe import probe_index
+from repro.obs.registry import MetricsRegistry
 from repro.minhash.sketch import Sketch
 from repro.minhash.windows import BasicWindow
 from repro.signature.bitsig import BitSignature
@@ -67,6 +68,7 @@ class EvalContext:
         queries: QuerySet,
         window_frames: int,
         index: Optional[HashQueryIndex] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if window_frames <= 0:
             raise DetectionError(
@@ -78,7 +80,8 @@ class EvalContext:
         self.queries = queries
         self.window_frames = window_frames
         self.index = index if config.use_index else None
-        self.stats = EngineStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = EngineStats(registry=self.registry)
         self.max_windows: Dict[int, int] = queries.max_windows_map(
             window_frames, config.tempo_scale
         )
@@ -106,6 +109,20 @@ class EvalContext:
         return self._query_matrix_cache
 
     # ------------------------------------------------------------------
+    # phase timing
+    # ------------------------------------------------------------------
+
+    def phase(self, name: str):
+        """Accumulating wall-clock timer for pipeline phase ``name``.
+
+        A thin delegate to the shared registry so engines write
+        ``with ctx.phase("combine"): ...``; canonical phase names are
+        ``sketch``, ``probe``, ``combine``, ``prune`` and ``match_emit``
+        (see ``docs/observability.md``).
+        """
+        return self.registry.phase(f"phase.{name}")
+
+    # ------------------------------------------------------------------
     # derived predicates
     # ------------------------------------------------------------------
 
@@ -131,22 +148,22 @@ class EvalContext:
 
     def similarity(self, sketch: Sketch, qid: int) -> float:
         """Sketch-vs-query similarity (one ``C_comp`` of Eq. (4))."""
-        self.stats.sketch_comparisons += 1
+        self.registry.inc("engine.sketch_comparisons")
         return sketch.similarity(self.queries.get(qid).sketch)
 
     def combine(self, left: Sketch, right: Sketch) -> Sketch:
         """Sketch combination (one ``C_comb`` of Eq. (4))."""
-        self.stats.sketch_combines += 1
+        self.registry.inc("engine.sketch_combines")
         return left.combine(right)
 
     def encode_signature(self, sketch: Sketch, qid: int) -> BitSignature:
         """Encode a bit signature from a sketch pair (O(K) operation)."""
-        self.stats.signature_encodes += 1
+        self.registry.inc("engine.signature_encodes")
         return BitSignature.encode(sketch, self.queries.get(qid).sketch)
 
     def or_signatures(self, left: BitSignature, right: BitSignature) -> BitSignature:
         """Bitwise-OR signature combination (the cheap bit operation)."""
-        self.stats.signature_combines += 1
+        self.registry.inc("engine.signature_combines")
         return left.combine(right)
 
     def window_signature(self, payload: WindowPayload, qid: int) -> BitSignature:
@@ -174,9 +191,15 @@ class EvalContext:
 
         With the index, a single probe yields the related queries and (in
         bit mode) their signatures; without it, every query is compared.
+        Runs under the ``probe`` phase timer either way (payload
+        construction is the probe stage of the pipeline).
         """
+        with self.phase("probe"):
+            return self._window_payload(window)
+
+    def _window_payload(self, window: BasicWindow) -> WindowPayload:
         if self.index is not None:
-            self.stats.index_probes += 1
+            self.registry.inc("engine.index_probes")
             related_list = probe_index(
                 window.sketch,
                 self.index,
@@ -207,7 +230,7 @@ class EvalContext:
             lt_planes = np.packbits(
                 values[np.newaxis, :] < matrix, axis=1, bitorder="little"
             )
-            self.stats.signature_encodes += len(qids)
+            self.registry.inc("engine.signature_encodes", len(qids))
             sigs: Dict[int, BitSignature] = {}
             for row, qid in enumerate(qids):
                 signature = BitSignature._raw(
@@ -216,7 +239,7 @@ class EvalContext:
                     self.config.num_hashes,
                 )
                 if self.prunable(signature):
-                    self.stats.signature_prunes += 1
+                    self.registry.inc("engine.signature_prunes")
                     continue
                 sigs[qid] = signature
             return WindowPayload(window=window, sigs=sigs, related=set(sigs))

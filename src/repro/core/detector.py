@@ -24,6 +24,7 @@ from repro.core.results import Match
 from repro.errors import DetectionError
 from repro.index.hq import HashQueryIndex
 from repro.minhash.windows import BasicWindow, iter_basic_windows
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["StreamingDetector"]
 
@@ -41,6 +42,11 @@ class StreamingDetector:
     keyframes_per_second:
         Cadence of the incoming cell-id stream, used to convert the
         configured window length (seconds) into key frames.
+    registry:
+        Optional shared :class:`~repro.obs.registry.MetricsRegistry`;
+        one is created when omitted. All engine counters and phase
+        timers of this stream accumulate into it
+        (``detector.stats`` is a typed view over the same registry).
     """
 
     def __init__(
@@ -48,6 +54,7 @@ class StreamingDetector:
         config: DetectorConfig,
         queries: QuerySet,
         keyframes_per_second: float,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if keyframes_per_second <= 0:
             raise DetectionError(
@@ -69,11 +76,13 @@ class StreamingDetector:
             )
             index.warm_caches()
         self.index = index
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.context = EvalContext(
             config=config,
             queries=queries,
             window_frames=self.window_frames,
             index=index,
+            registry=self.registry,
         )
         if config.order is CombinationOrder.SEQUENTIAL:
             self.engine: SequentialEngine | GeometricEngine = SequentialEngine(
@@ -92,8 +101,18 @@ class StreamingDetector:
         """Instrumentation accumulated so far."""
         return self.context.stats
 
+    @property
+    def frames_processed(self) -> int:
+        """Exact key frames consumed so far (counts partial windows by
+        their true length, never as a full ``w``)."""
+        return self.context.stats.frames_processed
+
     def process_window(self, window: BasicWindow) -> List[Match]:
         """Feed one pre-sketched basic window; return its match events."""
+        stats = self.context.stats
+        stats.frames_processed += window.num_frames
+        if window.num_frames < self.window_frames:
+            stats.partial_windows += 1
         payload = self.context.window_payload(window)
         matches = self.engine.process(payload)
         self.matches.extend(matches)
@@ -106,14 +125,34 @@ class StreamingDetector:
 
         The stream is chopped into basic windows of the configured length
         and processed in order. May be called repeatedly with consecutive
-        stream chunks as long as each chunk is a whole number of windows.
+        stream chunks as long as each previous chunk was a whole number
+        of windows: a chunk with a partial tail window is legal only as
+        the *end* of the stream. Feeding more frames after a partial
+        window raises :class:`~repro.errors.DetectionError`, because the
+        window clock can no longer stay aligned with the query sketches.
+        Window start frames are derived from the exact frame count
+        consumed so far, so they remain correct even when the stream
+        ends on a partial window.
         """
+        stats = self.context.stats
+        ids = np.asarray(cell_ids, dtype=np.int64)
+        if stats.partial_windows and ids.size:
+            raise DetectionError(
+                "cannot push more frames after a partial basic window: "
+                "the stream already ended mid-window and the window "
+                "clock would misalign"
+            )
         all_matches: List[Match] = []
-        offset_windows = self.context.stats.windows_processed
-        offset_frames = offset_windows * self.window_frames
-        for window in iter_basic_windows(
-            cell_ids, self.window_frames, self.queries.family
-        ):
+        offset_windows = stats.windows_processed
+        offset_frames = stats.frames_processed
+        windows = iter_basic_windows(
+            ids, self.window_frames, self.queries.family
+        )
+        while True:
+            with self.registry.phase("phase.sketch"):
+                window = next(windows, None)
+            if window is None:
+                break
             shifted = BasicWindow(
                 index=window.index + offset_windows,
                 start_frame=window.start_frame + offset_frames,

@@ -59,84 +59,94 @@ class GeometricEngine:
         return sum(len(segment.sigs) for segment in self.segments)
 
     def process(self, payload: WindowPayload) -> List[Match]:
-        """Fold one basic window into the ladder; return match events."""
+        """Fold one basic window into the ladder; return match events.
+
+        Phase accounting: ladder maintenance (the window's own score,
+        the carry merges) runs under the ``combine`` timer, λL expiry
+        under ``prune``, and the suffix-accumulation scoring plus
+        per-window stats sampling under ``match_emit``.
+        """
         ctx = self.context
         window = payload.window
         matches: List[Match] = []
 
-        # The basic window itself is always tested (the αC_comp term of
-        # Eq. (4)) before it may be swallowed by a carry merge.
-        self._score(
-            num_windows=1,
-            start_frame=window.start_frame,
-            end_frame=window.end_frame,
-            sketch=window.sketch,
-            sigs=payload.sigs,
-            relevant=payload.related,
-            window_index=window.index,
-            matches=matches,
-        )
-
-        self.segments.append(
-            _Segment(
-                size=1,
+        with ctx.phase("combine"):
+            # The basic window itself is always tested (the αC_comp term
+            # of Eq. (4)) before it may be swallowed by a carry merge.
+            self._score(
+                num_windows=1,
                 start_frame=window.start_frame,
                 end_frame=window.end_frame,
                 sketch=window.sketch,
-                sigs=dict(payload.sigs),
-                relevant=set(payload.related),
+                sigs=payload.sigs,
+                relevant=payload.related,
+                window_index=window.index,
+                matches=matches,
             )
-        )
-        # Carry propagation: merge equal-sized neighbours.
-        while (
-            len(self.segments) >= 2
-            and self.segments[-1].size == self.segments[-2].size
-        ):
-            newer = self.segments.pop()
-            older = self.segments.pop()
-            self.segments.append(self._merge(older, newer))
 
-        # Expire the oldest segments once the ladder exceeds the λL cap.
-        total = sum(segment.size for segment in self.segments)
-        while total > ctx.global_max_windows and len(self.segments) > 1:
-            dropped = self.segments.pop(0)
-            total -= dropped.size
-            ctx.stats.expired_candidates += 1
-
-        # Test the suffix accumulations, newest segment first. The
-        # single-newest suffix is skipped when it is exactly the window
-        # just scored above.
-        suffix: Optional[_Segment] = None
-        for segment in reversed(self.segments):
-            if suffix is None:
-                suffix = _Segment(
-                    size=segment.size,
-                    start_frame=segment.start_frame,
-                    end_frame=segment.end_frame,
-                    sketch=segment.sketch,
-                    sigs=dict(segment.sigs),
-                    relevant=set(segment.relevant),
+            self.segments.append(
+                _Segment(
+                    size=1,
+                    start_frame=window.start_frame,
+                    end_frame=window.end_frame,
+                    sketch=window.sketch,
+                    sigs=dict(payload.sigs),
+                    relevant=set(payload.related),
                 )
-                already_scored = segment.size == 1
-            else:
-                suffix = self._merge(segment, suffix)
-                already_scored = False
-            if not already_scored:
-                self._score(
-                    num_windows=suffix.size,
-                    start_frame=suffix.start_frame,
-                    end_frame=suffix.end_frame,
-                    sketch=suffix.sketch,
-                    sigs=suffix.sigs,
-                    relevant=suffix.relevant,
-                    window_index=window.index,
-                    matches=matches,
-                )
+            )
+            # Carry propagation: merge equal-sized neighbours.
+            while (
+                len(self.segments) >= 2
+                and self.segments[-1].size == self.segments[-2].size
+            ):
+                newer = self.segments.pop()
+                older = self.segments.pop()
+                self.segments.append(self._merge(older, newer))
 
-        ctx.stats.windows_processed += 1
-        ctx.stats.signatures_maintained.add(self.resident_signatures)
-        ctx.stats.candidates_maintained.add(len(self.segments))
-        ctx.stats.matches_reported += len(matches)
+        with ctx.phase("prune"):
+            # Expire the oldest segments once the ladder exceeds the λL
+            # cap.
+            total = sum(segment.size for segment in self.segments)
+            while total > ctx.global_max_windows and len(self.segments) > 1:
+                dropped = self.segments.pop(0)
+                total -= dropped.size
+                ctx.stats.expired_candidates += 1
+
+        with ctx.phase("match_emit"):
+            # Test the suffix accumulations, newest segment first. The
+            # single-newest suffix is skipped when it is exactly the
+            # window just scored above.
+            suffix: Optional[_Segment] = None
+            for segment in reversed(self.segments):
+                if suffix is None:
+                    suffix = _Segment(
+                        size=segment.size,
+                        start_frame=segment.start_frame,
+                        end_frame=segment.end_frame,
+                        sketch=segment.sketch,
+                        sigs=dict(segment.sigs),
+                        relevant=set(segment.relevant),
+                    )
+                    already_scored = segment.size == 1
+                else:
+                    suffix = self._merge(segment, suffix)
+                    already_scored = False
+                if not already_scored:
+                    self._score(
+                        num_windows=suffix.size,
+                        start_frame=suffix.start_frame,
+                        end_frame=suffix.end_frame,
+                        sketch=suffix.sketch,
+                        sigs=suffix.sigs,
+                        relevant=suffix.relevant,
+                        window_index=window.index,
+                        matches=matches,
+                    )
+
+            ctx.stats.windows_processed += 1
+            ctx.stats.signatures_maintained.add(self.resident_signatures)
+            ctx.stats.candidates_maintained.add(len(self.segments))
+            ctx.stats.matches_reported += len(matches)
         return matches
 
     # ------------------------------------------------------------------
@@ -162,7 +172,7 @@ class GeometricEngine:
                 else:
                     signature = older_sig if older_sig is not None else newer_sig
                 if ctx.prunable(signature):
-                    ctx.stats.signature_prunes += 1
+                    ctx.registry.inc("engine.signature_prunes")
                     continue
                 sigs[qid] = signature
         else:

@@ -57,43 +57,57 @@ class SequentialEngine:
         return sum(len(candidate.sigs) for candidate in self.candidates)
 
     def process(self, payload: WindowPayload) -> List[Match]:
-        """Fold one basic window into ``C_L``; return the match events."""
+        """Fold one basic window into ``C_L``; return the match events.
+
+        Phase accounting: expiry of over-λL candidates runs under the
+        ``prune`` timer, candidate extension (signature ORs / sketch
+        merges, including their inline Lemma 2 pruning) under
+        ``combine``, and fresh-candidate scoring plus per-window stats
+        sampling under ``match_emit``.
+        """
         ctx = self.context
         window = payload.window
         matches: List[Match] = []
 
-        surviving: List[_Candidate] = []
-        for candidate in self.candidates:
-            candidate.num_windows += 1
-            candidate.end_frame = window.end_frame
-            if candidate.num_windows > ctx.global_max_windows:
-                ctx.stats.expired_candidates += 1
-                continue
-            if ctx.is_bit:
-                # The Bit method never touches candidate sketches: all
-                # maintenance is signature ORs (Section V-A).
-                self._extend_bit(candidate, payload, matches)
-            else:
-                candidate.sketch = ctx.combine(candidate.sketch, window.sketch)
-                self._extend_sketch(candidate, payload, matches)
-            surviving.append(candidate)
-        self.candidates = surviving
+        with ctx.phase("prune"):
+            surviving: List[_Candidate] = []
+            for candidate in self.candidates:
+                candidate.num_windows += 1
+                candidate.end_frame = window.end_frame
+                if candidate.num_windows > ctx.global_max_windows:
+                    ctx.stats.expired_candidates += 1
+                    continue
+                surviving.append(candidate)
+            self.candidates = surviving
 
-        fresh = _Candidate(
-            start_window=window.index,
-            start_frame=window.start_frame,
-            end_frame=window.end_frame,
-            sketch=window.sketch,
-            sigs=dict(payload.sigs),
-            relevant=set(payload.related),
-        )
-        self._evaluate_fresh(fresh, matches)
-        self.candidates.append(fresh)
+        with ctx.phase("combine"):
+            for candidate in self.candidates:
+                if ctx.is_bit:
+                    # The Bit method never touches candidate sketches: all
+                    # maintenance is signature ORs (Section V-A).
+                    self._extend_bit(candidate, payload, matches)
+                else:
+                    candidate.sketch = ctx.combine(
+                        candidate.sketch, window.sketch
+                    )
+                    self._extend_sketch(candidate, payload, matches)
 
-        ctx.stats.windows_processed += 1
-        ctx.stats.signatures_maintained.add(self.resident_signatures)
-        ctx.stats.candidates_maintained.add(len(self.candidates))
-        ctx.stats.matches_reported += len(matches)
+        with ctx.phase("match_emit"):
+            fresh = _Candidate(
+                start_window=window.index,
+                start_frame=window.start_frame,
+                end_frame=window.end_frame,
+                sketch=window.sketch,
+                sigs=dict(payload.sigs),
+                relevant=set(payload.related),
+            )
+            self._evaluate_fresh(fresh, matches)
+            self.candidates.append(fresh)
+
+            ctx.stats.windows_processed += 1
+            ctx.stats.signatures_maintained.add(self.resident_signatures)
+            ctx.stats.candidates_maintained.add(len(self.candidates))
+            ctx.stats.matches_reported += len(matches)
         return matches
 
     # ------------------------------------------------------------------
@@ -144,7 +158,7 @@ class SequentialEngine:
             else:
                 signature = payload.sigs[qid]
             if ctx.prunable(signature):
-                ctx.stats.signature_prunes += 1
+                ctx.registry.inc("engine.signature_prunes")
                 continue
             new_sigs[qid] = signature
             if signature.similarity >= ctx.config.threshold:

@@ -62,10 +62,14 @@ class LiveMonitor:
 
     @property
     def frames_consumed(self) -> int:
-        """Key frames already handed to the detector."""
-        return (
-            self.detector.stats.windows_processed * self.detector.window_frames
-        )
+        """Key frames already handed to the detector.
+
+        Reads the registry's exact frame counter rather than deriving
+        ``windows_processed * window_frames`` — the latter overcounts
+        once :meth:`flush` has processed a partial tail window, which
+        contributes fewer than ``window_frames`` frames.
+        """
+        return self.detector.frames_processed
 
     # ------------------------------------------------------------------
     # input adapters

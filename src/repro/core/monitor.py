@@ -6,25 +6,47 @@ of Figure 10, each signature being 2K bits) and, implicitly via Eq. (4),
 the counts of sketch comparisons and combinations. :class:`EngineStats`
 tracks all of these so benchmarks can report both wall-clock and the cost
 model's primitive counts.
+
+Since the observability refactor, :class:`EngineStats` no longer stores
+its counters itself: it is a *typed view* over a
+:class:`~repro.obs.registry.MetricsRegistry`. Every attribute read and
+write goes straight to the registry's named metric (see
+``docs/observability.md`` for the name map), so the engines keep their
+``stats.sketch_combines += 1`` idiom while the CLI and benchmarks export
+the very same numbers through the registry's JSON snapshot. The public
+field names, defaults and behaviours of the former dataclass are
+preserved.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Optional
 
-from repro.utils.stats import RunningStats
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["EngineStats"]
 
 
-@dataclass
 class EngineStats:
     """Counters and distributions accumulated over one stream run.
+
+    A fresh instance creates (and owns) a private
+    :class:`~repro.obs.registry.MetricsRegistry`; the detector stack
+    instead binds the view to its shared per-stream registry. Two
+    instances never share state unless constructed over the same
+    registry.
 
     Attributes
     ----------
     windows_processed:
         Number of basic windows consumed.
+    frames_processed:
+        Exact number of key frames consumed, including partial tail
+        windows (the stream clock; never derived from
+        ``windows_processed``).
+    partial_windows:
+        Number of windows shorter than the configured ``w`` (at most one
+        per stream under the aligned-push contract).
     sketch_comparisons:
         Full O(K) sketch-vs-sketch similarity evaluations (the
         ``C_comp`` of Eq. (4); in bit mode these only occur as lazy
@@ -52,17 +74,74 @@ class EngineStats:
         Distribution of the candidate-list length, sampled per window.
     """
 
-    windows_processed: int = 0
-    sketch_comparisons: int = 0
-    sketch_combines: int = 0
-    signature_encodes: int = 0
-    signature_combines: int = 0
-    signature_prunes: int = 0
-    expired_candidates: int = 0
-    index_probes: int = 0
-    matches_reported: int = 0
-    signatures_maintained: RunningStats = field(default_factory=RunningStats)
-    candidates_maintained: RunningStats = field(default_factory=RunningStats)
+    #: attribute name -> registry counter name
+    COUNTER_METRICS = {
+        "windows_processed": "engine.windows_processed",
+        "frames_processed": "stream.frames_processed",
+        "partial_windows": "stream.partial_windows",
+        "sketch_comparisons": "engine.sketch_comparisons",
+        "sketch_combines": "engine.sketch_combines",
+        "signature_encodes": "engine.signature_encodes",
+        "signature_combines": "engine.signature_combines",
+        "signature_prunes": "engine.signature_prunes",
+        "expired_candidates": "engine.expired_candidates",
+        "index_probes": "engine.index_probes",
+        "matches_reported": "engine.matches_reported",
+    }
+
+    #: attribute name -> registry distribution name
+    DISTRIBUTION_METRICS = {
+        "signatures_maintained": "engine.signatures_maintained",
+        "candidates_maintained": "engine.candidates_maintained",
+    }
+
+    def __init__(
+        self, registry: Optional[MetricsRegistry] = None, **initial: int
+    ) -> None:
+        # The view's registry binding must bypass the counter-routing
+        # __setattr__ below.
+        object.__setattr__(
+            self, "registry", registry if registry is not None else MetricsRegistry()
+        )
+        # Pre-declare every metric of the view so snapshots always carry
+        # the full EngineStats counter set, zeros included.
+        for metric in self.COUNTER_METRICS.values():
+            self.registry.inc(metric, 0)
+        for metric in self.DISTRIBUTION_METRICS.values():
+            self.registry.distribution(metric)
+        for name, value in initial.items():
+            if name not in self.COUNTER_METRICS:
+                raise TypeError(f"EngineStats has no counter field {name!r}")
+            setattr(self, name, value)
+
+    # ------------------------------------------------------------------
+    # registry-routed attribute access
+    # ------------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        # Only called for names not found normally (registry is set via
+        # object.__setattr__, properties live on the class).
+        metric = self.COUNTER_METRICS.get(name)
+        if metric is not None:
+            return self.registry.counter(metric)
+        metric = self.DISTRIBUTION_METRICS.get(name)
+        if metric is not None:
+            return self.registry.distribution(metric)
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        metric = self.COUNTER_METRICS.get(name)
+        if metric is None:
+            raise AttributeError(
+                f"EngineStats field {name!r} is not an assignable counter"
+            )
+        self.registry.set_counter(metric, value)
+
+    # ------------------------------------------------------------------
+    # derived quantities (unchanged public API)
+    # ------------------------------------------------------------------
 
     @property
     def avg_signatures(self) -> float:
@@ -91,3 +170,9 @@ class EngineStats:
             f"avg_sigs={self.avg_signatures:.1f} "
             f"matches={self.matches_reported}"
         )
+
+    def __repr__(self) -> str:
+        counters = ", ".join(
+            f"{name}={getattr(self, name)}" for name in self.COUNTER_METRICS
+        )
+        return f"EngineStats({counters})"

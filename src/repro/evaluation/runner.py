@@ -15,6 +15,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.export import snapshot
+from repro.obs.registry import MetricsRegistry
+
 import numpy as np
 
 from repro.config import DetectorConfig, FingerprintConfig
@@ -52,6 +55,12 @@ class ExperimentResult:
         The raw match events.
     config:
         The configuration that produced this result.
+    metrics:
+        The run's full metrics snapshot (the ``repro.obs/1`` JSON
+        schema): every ``stats`` counter, the per-phase wall-clock
+        timers, and runner-level gauges (``runner.cpu_seconds``,
+        ``runner.prepare_seconds``). Benchmarks dump this next to their
+        figures.
     """
 
     cpu_seconds: float
@@ -59,6 +68,7 @@ class ExperimentResult:
     stats: EngineStats
     matches: List[Match] = field(repr=False)
     config: DetectorConfig = field(repr=False)
+    metrics: Dict[str, object] = field(repr=False, default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -141,12 +151,21 @@ def run_detector(
     prepared: PreparedWorkload,
     config: DetectorConfig,
     family_seed: int = 0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ExperimentResult:
     """One timed detector run over a prepared workload.
 
     Query sketching and index construction happen offline (untimed), as
     in the paper; the stopwatch covers stream windowing, sketching, index
     probing and candidate maintenance.
+
+    Parameters
+    ----------
+    registry:
+        Optional metrics registry the detector should accumulate into
+        (pass ``MetricsRegistry(timing_enabled=False)`` to skip phase
+        timing). One is created when omitted; either way the result's
+        ``metrics`` field carries its final snapshot.
     """
     family = MinHashFamily(num_hashes=config.num_hashes, seed=family_seed)
     queries = QuerySet.from_cell_ids(
@@ -156,6 +175,7 @@ def run_detector(
         config=config,
         queries=queries,
         keyframes_per_second=prepared.keyframes_per_second,
+        registry=registry,
     )
     started = time.perf_counter()
     matches = detector.process_cell_ids(prepared.stream_cell_ids)
@@ -163,10 +183,15 @@ def run_detector(
     quality = score_matches(
         matches, prepared.ground_truth, detector.window_frames
     )
+    detector.registry.set_gauge("runner.cpu_seconds", cpu_seconds)
+    detector.registry.set_gauge(
+        "runner.prepare_seconds", prepared.prepare_seconds
+    )
     return ExperimentResult(
         cpu_seconds=cpu_seconds,
         quality=quality,
         stats=detector.stats,
         matches=matches,
         config=config,
+        metrics=snapshot(detector.registry),
     )

@@ -75,6 +75,7 @@ class HashQueryIndex:
         self._qid_matrix: Optional[np.ndarray] = None
         self._sketch_cache: Optional[Dict[int, np.ndarray]] = None
         self._length_cache: Optional[Dict[int, int]] = None
+        self._last_row_columns: Optional[Dict[int, int]] = None
 
     # ------------------------------------------------------------------
     # construction / maintenance
@@ -237,6 +238,7 @@ class HashQueryIndex:
         self._qid_matrix = None
         self._sketch_cache = None
         self._length_cache = None
+        self._last_row_columns = None
 
     def cached_sketch_values(self, qid: int) -> np.ndarray:
         """Memoised :meth:`sketch_values_of` (one down-walk per query)."""
@@ -283,6 +285,24 @@ class HashQueryIndex:
             assert entry.qid is not None
             self.cached_sketch_values(entry.qid)
             self.length_of(entry.qid)
+            self.last_row_column_of(entry.qid)
+
+    def last_row_column_of(self, qid: int) -> int:
+        """Column of query ``qid`` in row ``K-1`` (memoised).
+
+        This is where the Figure 5 walk's ``lp`` cursor ends after the
+        probe has advanced through all K rows; the batched probe reads
+        it here so its returned :class:`~repro.index.probe.RelatedQuery`
+        elements agree with the reference walk field-for-field.
+        """
+        if getattr(self, "_last_row_columns", None) is None:
+            last_row = self.qid_matrix[self.num_hashes - 1]
+            self._last_row_columns = {
+                int(q): column for column, q in enumerate(last_row)
+            }
+        if qid not in self._last_row_columns:
+            raise IndexError_(f"query {qid} is not subscribed")
+        return self._last_row_columns[qid]
 
     @property
     def qid_matrix(self) -> np.ndarray:

@@ -52,8 +52,11 @@ class RelatedQuery:
         The two planes of the window-vs-query bit signature (see
         :class:`~repro.signature.bitsig.BitSignature`).
     lp:
-        Probe-internal cursor: the column of this query's current-row
-        entry (the ``lp`` of Figure 5).
+        Probe cursor: the column of this query's current-row entry (the
+        ``lp`` of Figure 5). In a *returned* element the walk has
+        advanced through all K rows, so ``lp`` is the query's column in
+        row ``K-1``; both probe implementations honour this contract
+        (asserted by ``tests/test_index.py``).
     """
 
     qid: int
@@ -240,7 +243,10 @@ def probe_index(
                     length_windows=index.length_of(qid),
                     ge=_pack_bits(values <= query_values),
                     lt=lt,
-                    lp=column,
+                    # The reference walk leaves every surviving element's
+                    # cursor on its row-(K-1) entry; report the same
+                    # final position, not the first-equal row's column.
+                    lp=index.last_row_column_of(qid),
                 )
             )
     return related

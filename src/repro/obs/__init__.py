@@ -1,0 +1,24 @@
+"""Observability: the metrics registry behind every engine statistic.
+
+``repro.obs`` is a dependency-free instrumentation layer. A
+:class:`MetricsRegistry` holds named counters, gauges, distributions
+(:class:`~repro.utils.stats.RunningStats`) and accumulating phase timers;
+:mod:`repro.obs.export` serialises one registry into a JSON snapshot or a
+one-line logfmt digest. The detector stack shares a single registry per
+stream — :class:`~repro.core.monitor.EngineStats` is a typed view over
+it, the engines' hot-path stages run under its phase timers, and the CLI
+(``repro stats`` / ``--metrics-out``) and :mod:`repro.evaluation.runner`
+expose its snapshots so benchmarks can dump per-phase cost next to their
+figures.
+"""
+
+from repro.obs.export import logfmt_digest, snapshot, to_json
+from repro.obs.registry import MetricsRegistry, PhaseTimer
+
+__all__ = [
+    "MetricsRegistry",
+    "PhaseTimer",
+    "logfmt_digest",
+    "snapshot",
+    "to_json",
+]

@@ -1,0 +1,84 @@
+"""Serialisers: registry -> JSON snapshot / one-line logfmt digest.
+
+The snapshot schema (versioned as ``repro.obs/1``, documented in
+``docs/observability.md``) is what ``repro stats --metrics-out`` and the
+``metrics`` field of :class:`~repro.evaluation.runner.ExperimentResult`
+emit, so every benchmark can write the same machine-readable file next to
+its figures. The logfmt digest is the human/grep-friendly one-liner for
+logs: ``key=value`` pairs, counters and timer seconds, sorted by key.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["SCHEMA", "logfmt_digest", "snapshot", "to_json"]
+
+SCHEMA = "repro.obs/1"
+
+
+def snapshot(registry: MetricsRegistry) -> Dict[str, object]:
+    """One JSON-serialisable dict capturing the registry's full state.
+
+    Layout::
+
+        {"schema": "repro.obs/1",
+         "counters": {name: int, ...},
+         "gauges": {name: float, ...},
+         "distributions": {name: {"count", "mean", "stddev", "min", "max"}},
+         "timers": {name: {"calls": int, "seconds": float}}}
+
+    Empty distributions report ``min``/``max`` as ``None`` (their
+    accumulator's infinities are not valid JSON).
+    """
+    distributions: Dict[str, object] = {}
+    for name, stats in registry.distributions():
+        distributions[name] = {
+            "count": stats.count,
+            "mean": stats.mean,
+            "stddev": stats.stddev,
+            "min": stats.minimum if stats.count else None,
+            "max": stats.maximum if stats.count else None,
+        }
+    return {
+        "schema": SCHEMA,
+        "counters": dict(registry.counters()),
+        "gauges": dict(registry.gauges()),
+        "distributions": distributions,
+        "timers": {
+            name: {"calls": timer.calls, "seconds": timer.seconds}
+            for name, timer in registry.timers()
+        },
+    }
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """The snapshot as a JSON document (stable key order)."""
+    return json.dumps(snapshot(registry), indent=indent, sort_keys=True)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.6f}"
+
+
+def logfmt_digest(registry: MetricsRegistry) -> str:
+    """One ``key=value`` line: counters, gauges, dist means, timer seconds.
+
+    Distribution keys carry a ``.mean`` suffix and timers a ``.seconds``
+    suffix so that every key maps to a single scalar.
+    """
+    pairs = []
+    for name, value in registry.counters():
+        pairs.append((name, str(value)))
+    for name, value in registry.gauges():
+        pairs.append((name, _format_value(value)))
+    for name, stats in registry.distributions():
+        pairs.append((f"{name}.mean", _format_value(stats.mean)))
+    for name, timer in registry.timers():
+        pairs.append((f"{name}.seconds", _format_value(timer.seconds)))
+    return " ".join(f"{key}={value}" for key, value in sorted(pairs))

@@ -1,0 +1,216 @@
+"""The metrics registry: named counters, gauges, distributions, timers.
+
+One :class:`MetricsRegistry` instance accompanies one detector run. It is
+deliberately primitive — plain dicts of ints/floats, the existing
+:class:`~repro.utils.stats.RunningStats` accumulator for distributions,
+and :class:`PhaseTimer` (an accumulating ``perf_counter`` span) for the
+per-stage wall-clock of the hot path. Metric names are dotted strings;
+the canonical names used by the detector stack are listed in
+``docs/observability.md``.
+
+Timers can be disabled wholesale (``timing_enabled=False``): ``phase()``
+then returns a shared no-op context manager, so instrumented code pays
+only an attribute lookup. Counters and distributions are always live —
+they are the ``EngineStats`` the rest of the system depends on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Tuple
+
+from repro.utils.stats import RunningStats
+
+__all__ = ["MetricsRegistry", "PhaseTimer"]
+
+
+class PhaseTimer:
+    """An accumulating wall-clock timer for one named pipeline phase.
+
+    Re-entrant use is not supported (phases do not nest with themselves);
+    entering an already-running timer raises :class:`RuntimeError`.
+
+    Example
+    -------
+    >>> timer = PhaseTimer("probe")
+    >>> with timer:
+    ...     pass
+    >>> timer.calls
+    1
+    >>> timer.seconds >= 0.0
+    True
+    """
+
+    __slots__ = ("name", "calls", "seconds", "_started_at")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.seconds = 0.0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "PhaseTimer":
+        if self._started_at is not None:
+            raise RuntimeError(f"phase timer {self.name!r} is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started_at is not None
+        self.seconds += time.perf_counter() - self._started_at
+        self.calls += 1
+        self._started_at = None
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseTimer({self.name!r}, calls={self.calls}, "
+            f"seconds={self.seconds:.6f})"
+        )
+
+
+class _NullTimer:
+    """Shared no-op context manager returned by disabled registries."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class MetricsRegistry:
+    """Named counters, gauges, distributions and phase timers.
+
+    Parameters
+    ----------
+    timing_enabled:
+        When False, :meth:`phase` hands back a shared no-op context
+        manager and no wall-clock is recorded. Counter, gauge and
+        distribution updates are unaffected.
+
+    Example
+    -------
+    >>> registry = MetricsRegistry()
+    >>> registry.inc("engine.windows_processed")
+    >>> registry.counter("engine.windows_processed")
+    1
+    >>> registry.observe("engine.candidates_maintained", 3)
+    >>> registry.distribution("engine.candidates_maintained").mean
+    3.0
+    """
+
+    def __init__(self, timing_enabled: bool = True) -> None:
+        self.timing_enabled = timing_enabled
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._distributions: Dict[str, RunningStats] = {}
+        self._timers: Dict[str, PhaseTimer] = {}
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Overwrite counter ``name`` (the ``EngineStats`` setter path)."""
+        self._counters[name] = int(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never touched)."""
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # gauges
+    # ------------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (0.0 when never set)."""
+        return self._gauges.get(name, 0.0)
+
+    # ------------------------------------------------------------------
+    # distributions
+    # ------------------------------------------------------------------
+
+    def distribution(self, name: str) -> RunningStats:
+        """The accumulator for distribution ``name`` (created empty)."""
+        stats = self._distributions.get(name)
+        if stats is None:
+            stats = self._distributions[name] = RunningStats()
+        return stats
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one observation into distribution ``name``."""
+        self.distribution(name).add(value)
+
+    # ------------------------------------------------------------------
+    # phase timers
+    # ------------------------------------------------------------------
+
+    def phase(self, name: str):
+        """Context manager timing one occurrence of phase ``name``.
+
+        The returned object accumulates across uses, so the idiom is
+        simply ``with registry.phase("probe"): ...`` at every call site.
+        """
+        if not self.timing_enabled:
+            return _NULL_TIMER
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = PhaseTimer(name)
+        return timer
+
+    def timer(self, name: str) -> PhaseTimer:
+        """The accumulating timer for phase ``name`` (created empty)."""
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = PhaseTimer(name)
+        return timer
+
+    # ------------------------------------------------------------------
+    # enumeration (used by the serialisers)
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        """``(name, value)`` pairs in sorted name order."""
+        return iter(sorted(self._counters.items()))
+
+    def gauges(self) -> Iterator[Tuple[str, float]]:
+        """``(name, value)`` pairs in sorted name order."""
+        return iter(sorted(self._gauges.items()))
+
+    def distributions(self) -> Iterator[Tuple[str, RunningStats]]:
+        """``(name, RunningStats)`` pairs in sorted name order."""
+        return iter(sorted(self._distributions.items()))
+
+    def timers(self) -> Iterator[Tuple[str, PhaseTimer]]:
+        """``(name, PhaseTimer)`` pairs in sorted name order."""
+        return iter(sorted(self._timers.items()))
+
+    def names(self) -> List[str]:
+        """Every metric name present, across all four kinds, sorted."""
+        return sorted(
+            set(self._counters)
+            | set(self._gauges)
+            | set(self._distributions)
+            | set(self._timers)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, "
+            f"distributions={len(self._distributions)}, "
+            f"timers={len(self._timers)})"
+        )

@@ -1,0 +1,107 @@
+"""Regression tests for the detector's stream clock.
+
+``StreamingDetector.process_cell_ids`` used to derive the frame offset of
+a new chunk as ``windows_processed * window_frames``. After any partial
+window (a chunk not ending on a window boundary) that expression
+overstates the true offset, silently corrupting every later
+``Match.start_frame``. The clock now tracks exact frames processed and
+refuses mid-stream pushes after a partial window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DetectorConfig
+from repro.core.detector import StreamingDetector
+from repro.core.query import QuerySet
+from repro.errors import DetectionError
+from repro.minhash.family import MinHashFamily
+
+WINDOW_FRAMES = 10  # window_seconds=10 at 1 key frame / s
+
+
+def _detector(threshold=0.7):
+    family = MinHashFamily(num_hashes=128, seed=5)
+    queries = QuerySet.from_cell_ids(
+        {0: np.arange(1000, 1040)}, {0: 40}, family
+    )
+    config = DetectorConfig(
+        num_hashes=128, threshold=threshold, window_seconds=10.0
+    )
+    return StreamingDetector(config, queries, 1.0)
+
+
+class TestExactFrameClock:
+    def test_frames_processed_counts_partial_tail(self, rng):
+        detector = _detector()
+        detector.process_cell_ids(rng.integers(0, 500, size=15))
+        assert detector.stats.windows_processed == 2
+        assert detector.frames_processed == 15  # not 2 * 10 == 20
+        assert detector.stats.partial_windows == 1
+
+    def test_aligned_chunks_keep_exact_clock(self, rng):
+        detector = _detector()
+        for size in (10, 30, 20):
+            detector.process_cell_ids(rng.integers(0, 500, size=size))
+        assert detector.frames_processed == 60
+        assert detector.stats.windows_processed == 6
+        assert detector.stats.partial_windows == 0
+
+    def test_window_start_frames_continue_across_chunks(self, rng):
+        """Chunked aligned pushes yield the same window clock as one shot."""
+        stream = rng.integers(0, 500, size=60)
+        chunked = _detector()
+        chunked.process_cell_ids(stream[:30])
+        chunked.process_cell_ids(stream[30:])
+        oneshot = _detector()
+        oneshot.process_cell_ids(stream)
+        assert chunked.frames_processed == oneshot.frames_processed == 60
+
+
+class TestPartialWindowGuard:
+    def test_push_after_partial_window_rejected(self, rng):
+        """Regression: the second push used to be accepted with its
+        windows shifted to frame 20 instead of 15 — every subsequent
+        Match.start_frame would have been off by 5 frames."""
+        detector = _detector()
+        detector.process_cell_ids(rng.integers(0, 500, size=15))
+        with pytest.raises(DetectionError):
+            detector.process_cell_ids(rng.integers(0, 500, size=10))
+
+    def test_empty_push_after_partial_window_is_harmless(self, rng):
+        detector = _detector()
+        detector.process_cell_ids(rng.integers(0, 500, size=15))
+        assert detector.process_cell_ids(np.empty(0, dtype=np.int64)) == []
+
+    def test_direct_partial_process_window_sets_guard(self, rng):
+        from repro.minhash.windows import iter_basic_windows
+
+        detector = _detector()
+        window = next(
+            iter_basic_windows(
+                rng.integers(0, 500, size=6),
+                WINDOW_FRAMES,
+                detector.queries.family,
+            )
+        )
+        detector.process_window(window)
+        assert detector.frames_processed == 6
+        assert detector.stats.partial_windows == 1
+        with pytest.raises(DetectionError):
+            detector.process_cell_ids(rng.integers(0, 500, size=10))
+
+    def test_match_start_frames_exact_when_stream_ends_partial(self):
+        """A copy detected in a stream with a partial tail reports the
+        same span as the aligned prefix would."""
+        copy = np.arange(1000, 1040)
+        rng = np.random.default_rng(123)
+        noise = rng.integers(100_000, 500_000, size=20)
+        stream = np.concatenate([noise, copy, rng.integers(
+            100_000, 500_000, size=7)])  # 67 frames: ends on a 7-frame tail
+        detector = _detector(threshold=0.6)
+        matches = detector.process_cell_ids(stream)
+        assert matches, "the embedded copy must be detected"
+        assert any(m.start_frame == 20 for m in matches)
+        assert detector.frames_processed == 67

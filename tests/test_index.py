@@ -261,9 +261,29 @@ class TestProbe:
             window = family.sketch(elements)
             fast = probe_index(window, index, threshold, prune=prune)
             reference = probe_index_reference(window, index, threshold, prune=prune)
-            fast_view = {(e.qid, e.ge, e.lt) for e in fast}
-            reference_view = {(e.qid, e.ge, e.lt) for e in reference}
+            fast_view = {(e.qid, e.ge, e.lt, e.lp) for e in fast}
+            reference_view = {(e.qid, e.ge, e.lt, e.lp) for e in reference}
             assert fast_view == reference_view
+
+    def test_returned_lp_is_last_row_cursor(self):
+        """Contract: a returned RelatedQuery's ``lp`` is the query's
+        column in row K-1 (where the Figure 5 walk's cursor ends), for
+        the batched and reference probes alike.
+
+        Regression: the batched probe used to freeze ``lp`` at the
+        first-equal row's column, disagreeing with the reference.
+        """
+        family = _family(num_hashes=48)
+        sketches, lengths = _query_population(family, num_queries=10, seed=3)
+        index = HashQueryIndex.build(sketches, lengths)
+        rng = np.random.default_rng(21)
+        last_row = index.num_hashes - 1
+        for _ in range(6):
+            window = family.sketch(rng.choice(5000, size=25, replace=False))
+            for probe in (probe_index, probe_index_reference):
+                for element in probe(window, index, 0.0, prune=False):
+                    walk = index.walk_up_to_root(last_row, element.lp)
+                    assert index.rows[0][walk[0]].qid == element.qid
 
     def test_fast_probe_after_online_maintenance(self):
         """Cache invalidation: probes stay correct across insert/remove."""

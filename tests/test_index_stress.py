@@ -100,3 +100,57 @@ def test_interleaved_churn_visits_every_size():
         index.check_invariants()
         assert index.num_queries == qid
     assert np.array_equal(index.sketch_values_of(0), sketches[0].values)
+
+
+def test_randomized_interleaving_probe_equivalence():
+    """Randomised subscribe/unsubscribe/probe interleaving.
+
+    After *every* mutation the structure must satisfy its invariants and
+    the batched probe must agree with the Figure 5 reference walk on the
+    full RelatedQuery contract — qid, both signature planes, and the
+    final ``lp`` cursor — exercising the online pointer maintenance of
+    ``insert``/``remove`` together with every probe-side cache.
+    """
+    family = MinHashFamily(num_hashes=32, seed=13)
+    sketches, lengths = _population(family, 16, seed=17)
+    rng = np.random.default_rng(20080407)
+
+    def check_probes(index):
+        for _ in range(2):
+            if rng.integers(2):
+                window = family.sketch(
+                    rng.choice(8000, size=int(rng.integers(10, 30)),
+                               replace=False)
+                )
+            else:  # probe with a subscribed sketch so equal runs occur
+                window = sketches[int(rng.choice(sorted(live)))]
+            threshold = float(rng.choice([0.0, 0.5, 0.8]))
+            prune = bool(rng.integers(2))
+            fast = probe_index(window, index, threshold, prune=prune)
+            reference = probe_index_reference(
+                window, index, threshold, prune=prune
+            )
+            view = lambda related: {
+                (e.qid, e.ge, e.lt, e.lp, e.length_windows) for e in related
+            }
+            assert view(fast) == view(reference)
+
+    live = set(range(8))
+    index = HashQueryIndex.build(
+        {qid: sketches[qid] for qid in live},
+        {qid: lengths[qid] for qid in live},
+    )
+    for _step in range(60):
+        subscribed = sorted(live)
+        unsubscribed = sorted(set(sketches) - live)
+        if unsubscribed and (len(live) <= 1 or rng.integers(2)):
+            qid = int(rng.choice(unsubscribed))
+            index.insert(qid, sketches[qid], lengths[qid])
+            live.add(qid)
+        else:
+            qid = int(rng.choice(subscribed))
+            index.remove(qid)
+            live.discard(qid)
+        index.check_invariants()
+        assert sorted(index.query_ids) == sorted(live)
+        check_probes(index)

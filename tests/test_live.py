@@ -92,6 +92,40 @@ class TestBuffering:
             monitor.push_cell_ids(np.zeros((2, 2)))
 
 
+class TestFrameAccounting:
+    def test_frames_consumed_exact_after_flush(self, rng):
+        """Regression: a flushed partial tail window must count its true
+        frame contribution, not a full ``window_frames``.
+
+        With w=10, a 15-frame stream flushes a 5-frame tail; the old
+        ``windows_processed * window_frames`` derivation reported 20.
+        """
+        monitor = _monitor(np.arange(1000, 1040), 40)
+        monitor.push_cell_ids(rng.integers(0, 500, size=15))
+        assert monitor.frames_consumed == 10
+        monitor.flush()
+        assert monitor.detector.stats.windows_processed == 2
+        assert monitor.frames_consumed == 15  # not 2 * 10 == 20
+
+    def test_frames_consumed_plus_pending_is_total(self, rng):
+        monitor = _monitor(np.arange(1000, 1040), 40)
+        total = 0
+        for size in (3, 17, 8, 25, 4):
+            monitor.push_cell_ids(rng.integers(0, 500, size=size))
+            total += size
+            assert monitor.frames_consumed + monitor.pending_frames == total
+        monitor.flush()
+        assert monitor.frames_consumed == total
+        assert monitor.pending_frames == 0
+
+    def test_partial_windows_counter_set_by_flush(self, rng):
+        monitor = _monitor(np.arange(1000, 1040), 40)
+        monitor.push_cell_ids(rng.integers(0, 500, size=12))
+        assert monitor.detector.stats.partial_windows == 0
+        monitor.flush()
+        assert monitor.detector.stats.partial_windows == 1
+
+
 class TestInputAdapters:
     def test_push_frames_detects_copy(self):
         synth = ClipSynthesizer(seed=31)

@@ -1,0 +1,222 @@
+"""Tests for the observability layer (repro.obs) and its EngineStats view."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import DetectorConfig
+from repro.core.detector import StreamingDetector
+from repro.core.monitor import EngineStats
+from repro.core.query import QuerySet
+from repro.minhash.family import MinHashFamily
+from repro.obs.export import SCHEMA, logfmt_digest, snapshot, to_json
+from repro.obs.registry import MetricsRegistry, PhaseTimer
+
+
+class TestRegistry:
+    def test_counters_start_at_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter("anything") == 0
+
+    def test_inc_and_set(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        assert registry.counter("a") == 5
+        registry.set_counter("a", 2)
+        assert registry.counter("a") == 2
+
+    def test_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g") == 0.0
+        registry.set_gauge("g", 1.5)
+        registry.set_gauge("g", 2.5)
+        assert registry.gauge("g") == 2.5
+
+    def test_distributions_accumulate(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.observe("d", value)
+        stats = registry.distribution("d")
+        assert stats.count == 3
+        assert stats.mean == 2.0
+
+    def test_phase_timer_accumulates(self):
+        registry = MetricsRegistry()
+        for _ in range(3):
+            with registry.phase("p"):
+                pass
+        timer = registry.timer("p")
+        assert timer.calls == 3
+        assert timer.seconds >= 0.0
+
+    def test_phase_timer_rejects_reentry(self):
+        timer = PhaseTimer("x")
+        with timer:
+            with pytest.raises(RuntimeError):
+                timer.__enter__()
+
+    def test_disabled_timing_records_nothing(self):
+        registry = MetricsRegistry(timing_enabled=False)
+        with registry.phase("p"):
+            pass
+        assert registry.timer("p").calls == 0
+        # Counters stay live regardless.
+        registry.inc("c")
+        assert registry.counter("c") == 1
+
+    def test_names_spans_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.inc("a.counter")
+        registry.set_gauge("b.gauge", 1.0)
+        registry.observe("c.dist", 1.0)
+        with registry.phase("d.timer"):
+            pass
+        assert registry.names() == ["a.counter", "b.gauge", "c.dist", "d.timer"]
+
+
+class TestExport:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.inc("engine.windows_processed", 7)
+        registry.set_gauge("runner.cpu_seconds", 0.25)
+        registry.observe("engine.candidates_maintained", 4.0)
+        with registry.phase("phase.probe"):
+            pass
+        return registry
+
+    def test_snapshot_schema(self):
+        shot = snapshot(self._populated())
+        assert shot["schema"] == SCHEMA
+        assert shot["counters"]["engine.windows_processed"] == 7
+        assert shot["gauges"]["runner.cpu_seconds"] == 0.25
+        dist = shot["distributions"]["engine.candidates_maintained"]
+        assert dist["count"] == 1 and dist["mean"] == 4.0
+        timer = shot["timers"]["phase.probe"]
+        assert timer["calls"] == 1 and timer["seconds"] >= 0.0
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = self._populated()
+        registry.distribution("empty.dist")  # min/max are infinities
+        parsed = json.loads(to_json(registry))
+        assert parsed["distributions"]["empty.dist"]["min"] is None
+        assert parsed["distributions"]["empty.dist"]["max"] is None
+
+    def test_logfmt_digest_sorted_single_line(self):
+        digest = logfmt_digest(self._populated())
+        assert "\n" not in digest
+        keys = [pair.split("=", 1)[0] for pair in digest.split()]
+        assert keys == sorted(keys)
+        assert "engine.windows_processed=7" in digest
+        assert "phase.probe.seconds=" in digest
+        assert "engine.candidates_maintained.mean=4.000000" in digest
+
+
+class TestEngineStatsView:
+    def test_independent_instances_do_not_share(self):
+        first, second = EngineStats(), EngineStats()
+        first.windows_processed += 5
+        assert first.windows_processed == 5
+        assert second.windows_processed == 0
+
+    def test_counters_route_to_registry(self):
+        registry = MetricsRegistry()
+        stats = EngineStats(registry=registry)
+        stats.sketch_combines += 3
+        assert registry.counter("engine.sketch_combines") == 3
+        registry.inc("engine.sketch_combines")
+        assert stats.sketch_combines == 4
+
+    def test_distributions_route_to_registry(self):
+        registry = MetricsRegistry()
+        stats = EngineStats(registry=registry)
+        stats.signatures_maintained.extend([10.0, 20.0])
+        assert stats.avg_signatures == 15.0
+        assert (
+            registry.distribution("engine.signatures_maintained").count == 2
+        )
+
+    def test_keyword_initialisation_still_supported(self):
+        stats = EngineStats(windows_processed=4, matches_reported=2)
+        assert stats.windows_processed == 4
+        assert stats.matches_reported == 2
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            EngineStats(nonsense=1)
+        stats = EngineStats()
+        with pytest.raises(AttributeError):
+            stats.nonsense  # noqa: B018 - attribute access is the assertion
+        with pytest.raises(AttributeError):
+            stats.nonsense = 1
+
+    def test_all_metrics_predeclared_in_snapshot(self):
+        stats = EngineStats()
+        shot = snapshot(stats.registry)
+        for metric in EngineStats.COUNTER_METRICS.values():
+            assert shot["counters"][metric] == 0
+        for metric in EngineStats.DISTRIBUTION_METRICS.values():
+            assert shot["distributions"][metric]["count"] == 0
+
+    def test_summary_unchanged(self):
+        stats = EngineStats(windows_processed=2, matches_reported=1)
+        summary = stats.summary()
+        assert "windows=2" in summary
+        assert "matches=1" in summary
+
+
+class TestDetectorIntegration:
+    def _detector(self, registry=None, window_seconds=10.0):
+        family = MinHashFamily(num_hashes=64, seed=3)
+        queries = QuerySet.from_cell_ids(
+            {0: np.arange(500, 540)}, {0: 40}, family
+        )
+        config = DetectorConfig(
+            num_hashes=64, threshold=0.7, window_seconds=window_seconds
+        )
+        return StreamingDetector(config, queries, 1.0, registry=registry)
+
+    def test_detector_shares_registry_with_stats(self):
+        registry = MetricsRegistry()
+        detector = self._detector(registry=registry)
+        rng = np.random.default_rng(0)
+        detector.process_cell_ids(rng.integers(0, 400, size=40))
+        assert detector.registry is registry
+        assert registry.counter("engine.windows_processed") == 4
+        assert detector.stats.windows_processed == 4
+
+    def test_phase_timers_cover_pipeline(self):
+        detector = self._detector()
+        rng = np.random.default_rng(1)
+        detector.process_cell_ids(rng.integers(0, 400, size=50))
+        shot = snapshot(detector.registry)
+        for phase in ("phase.sketch", "phase.probe", "phase.combine",
+                      "phase.prune", "phase.match_emit"):
+            assert shot["timers"][phase]["calls"] > 0, phase
+
+    def test_timing_can_be_disabled(self):
+        registry = MetricsRegistry(timing_enabled=False)
+        detector = self._detector(registry=registry)
+        rng = np.random.default_rng(2)
+        detector.process_cell_ids(rng.integers(0, 400, size=50))
+        assert snapshot(registry)["timers"] == {}
+        # Counters unaffected by the timing switch.
+        assert detector.stats.windows_processed == 5
+
+    def test_runner_result_carries_metrics(self, vs1_prepared):
+        from repro.evaluation.runner import run_detector
+
+        result = run_detector(
+            vs1_prepared, DetectorConfig(num_hashes=128)
+        )
+        assert result.metrics["schema"] == SCHEMA
+        counters = result.metrics["counters"]
+        assert (
+            counters["engine.windows_processed"]
+            == result.stats.windows_processed
+        )
+        assert result.metrics["gauges"]["runner.cpu_seconds"] > 0.0
+        assert "phase.probe" in result.metrics["timers"]
