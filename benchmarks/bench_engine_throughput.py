@@ -1,0 +1,220 @@
+"""Engine throughput benchmark: columnar kernels vs scalar reference.
+
+Measures windows/second for both combination orders (Sequential,
+Geometric) and both representations (sketch vectors, bit signatures)
+across a K sweep, with the columnar (``vectorized=True``) and the scalar
+reference (``vectorized=False``) engine implementations. Both paths
+produce bit-identical matches and counters (see
+``tests/test_engine_vectorized.py``); this benchmark quantifies the
+wall-clock gap between them.
+
+The workload keeps the paper's λ = 2 and ``w`` = 5 s and uses query
+lengths of 40-60 s at 2 key frames/s, so each Sequential query maintains
+``ceil(λL/w)`` = 16-24 live candidate suffixes — a columnar store of
+at least 16 rows, the regime the vectorized kernels are built for.
+Window sketching happens once, outside the timed region: the timer
+covers only ``StreamingDetector.process_window``, i.e. the engine's
+combine / prune / match phases.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--quick]
+
+Writes ``BENCH_ENGINE.json`` at the repository root (override with
+``--output``). This is a standalone CLI, not a pytest module: the
+``bench_engine_*`` result rows feed docs/performance.md and the CI
+smoke step, not the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import CombinationOrder, DetectorConfig, Representation
+from repro.core.detector import StreamingDetector
+from repro.core.query import QuerySet
+from repro.minhash.family import MinHashFamily
+from repro.minhash.windows import build_basic_windows
+
+BENCH_SEED = 20080407  # ICDE 2008 in Cancún
+KEYFRAMES_PER_SECOND = 2.0
+WINDOW_SECONDS = 5.0
+TEMPO_SCALE = 2.0
+THRESHOLD = 0.7
+NUM_QUERIES = 24
+CELL_ID_SPACE = 40_960  # 2 d u^d with d=5, u=4
+QUERY_SECONDS = (40.0, 60.0)  # ceil(λL/w) in [16, 24] candidates
+
+
+def build_workload(rng: np.random.Generator, stream_frames: int):
+    """Synthesize query cell-id sets and a stream with embedded copies."""
+    frames_min = int(QUERY_SECONDS[0] * KEYFRAMES_PER_SECOND)
+    frames_max = int(QUERY_SECONDS[1] * KEYFRAMES_PER_SECOND)
+    cell_ids: Dict[int, np.ndarray] = {}
+    frame_counts: Dict[int, int] = {}
+    for qid in range(NUM_QUERIES):
+        n = int(rng.integers(frames_min, frames_max + 1))
+        cell_ids[qid] = rng.integers(0, CELL_ID_SPACE, size=n)
+        frame_counts[qid] = n
+    stream = rng.integers(0, CELL_ID_SPACE, size=stream_frames)
+    # Splice two query copies in so the match path is exercised too.
+    for qid in (0, NUM_QUERIES // 2):
+        copy = np.asarray(cell_ids[qid])
+        at = int(rng.integers(0, stream_frames - copy.size))
+        stream[at : at + copy.size] = copy
+    return cell_ids, frame_counts, stream
+
+
+def run_once(
+    config: DetectorConfig,
+    queries: QuerySet,
+    windows,
+) -> Dict[str, float]:
+    """One timed pass of the engine over pre-sketched windows."""
+    detector = StreamingDetector(config, queries, KEYFRAMES_PER_SECOND)
+    start = time.perf_counter()
+    for window in windows:
+        detector.process_window(window)
+    elapsed = time.perf_counter() - start
+    return {
+        "windows": len(windows),
+        "matches": len(detector.matches),
+        "elapsed_s": elapsed,
+        "windows_per_sec": len(windows) / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: K=128 only, short stream, one repeat",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_ENGINE.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per configuration (best is kept)",
+    )
+    args = parser.parse_args(argv)
+
+    k_sweep = [128] if args.quick else [128, 400, 800]
+    stream_frames = 600 if args.quick else 2400
+    repeats = args.repeats or (1 if args.quick else 3)
+
+    rng = np.random.default_rng(BENCH_SEED)
+    cell_ids, frame_counts, stream = build_workload(rng, stream_frames)
+
+    results: List[Dict[str, object]] = []
+    for num_hashes in k_sweep:
+        family = MinHashFamily(num_hashes=num_hashes, seed=BENCH_SEED)
+        queries = QuerySet.from_cell_ids(cell_ids, frame_counts, family)
+        window_frames = max(
+            1, round(WINDOW_SECONDS * KEYFRAMES_PER_SECOND)
+        )
+        windows = build_basic_windows(stream, window_frames, family)
+        for order in CombinationOrder:
+            for representation in Representation:
+                for vectorized in (False, True):
+                    config = DetectorConfig(
+                        num_hashes=num_hashes,
+                        threshold=THRESHOLD,
+                        window_seconds=WINDOW_SECONDS,
+                        tempo_scale=TEMPO_SCALE,
+                        order=order,
+                        representation=representation,
+                        use_index=False,
+                        vectorized=vectorized,
+                    )
+                    best = None
+                    for _ in range(repeats):
+                        sample = run_once(config, queries, windows)
+                        if best is None or (
+                            sample["windows_per_sec"]
+                            > best["windows_per_sec"]
+                        ):
+                            best = sample
+                    row: Dict[str, object] = {
+                        "order": order.value,
+                        "representation": representation.value,
+                        "num_hashes": num_hashes,
+                        "vectorized": vectorized,
+                        **best,
+                    }
+                    results.append(row)
+                    print(
+                        f"{order.value:>10s}/{representation.value:<6s} "
+                        f"K={num_hashes:<4d} "
+                        f"{'columnar' if vectorized else 'reference':<9s} "
+                        f"{best['windows_per_sec']:>10.1f} win/s "
+                        f"({best['matches']} matches)"
+                    )
+
+    speedups: List[Dict[str, object]] = []
+    for row in results:
+        if not row["vectorized"]:
+            continue
+        ref = next(
+            r
+            for r in results
+            if not r["vectorized"]
+            and r["order"] == row["order"]
+            and r["representation"] == row["representation"]
+            and r["num_hashes"] == row["num_hashes"]
+        )
+        speedups.append(
+            {
+                "order": row["order"],
+                "representation": row["representation"],
+                "num_hashes": row["num_hashes"],
+                "speedup": row["windows_per_sec"] / ref["windows_per_sec"],
+            }
+        )
+    for entry in speedups:
+        print(
+            f"speedup {entry['order']:>10s}/{entry['representation']:<6s} "
+            f"K={entry['num_hashes']:<4d} {entry['speedup']:.2f}x"
+        )
+
+    report = {
+        "benchmark": "engine_throughput",
+        "seed": BENCH_SEED,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workload": {
+            "keyframes_per_second": KEYFRAMES_PER_SECOND,
+            "window_seconds": WINDOW_SECONDS,
+            "tempo_scale": TEMPO_SCALE,
+            "threshold": THRESHOLD,
+            "num_queries": NUM_QUERIES,
+            "stream_frames": stream_frames,
+            "query_seconds": list(QUERY_SECONDS),
+            "repeats": repeats,
+        },
+        "results": results,
+        "speedups": speedups,
+    }
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

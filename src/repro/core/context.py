@@ -12,7 +12,7 @@ cost profiles measurable (see :class:`~repro.core.monitor.EngineStats`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -25,10 +25,51 @@ from repro.index.probe import probe_index
 from repro.obs.registry import MetricsRegistry
 from repro.minhash.sketch import Sketch
 from repro.minhash.windows import BasicWindow
-from repro.signature.bitsig import BitSignature
-from repro.signature.pruning import violates_lemma2
+from repro.signature.bitsig import (
+    BitSignature,
+    encode_planes,
+    pack_bool_planes,
+    plane_words,
+    popcount_planes,
+)
+from repro.signature.pruning import lemma2_prunable, violates_lemma2
 
-__all__ = ["EvalContext", "WindowPayload"]
+__all__ = ["ColumnarPayload", "EvalContext", "QueryColumns", "WindowPayload"]
+
+
+@dataclass(frozen=True)
+class QueryColumns:
+    """The active query set in columnar form, cached on the context.
+
+    One column per subscribed query, in sorted-qid order. Rebuilt (and
+    re-cached) whenever the query set changes; the columnar engines remap
+    their stores against the new layout on their next window.
+    """
+
+    qids: Tuple[int, ...]
+    matrix: np.ndarray  #: ``(Q, K)`` int64 query sketch values
+    max_windows: np.ndarray  #: ``(Q,)`` int64 per-query λL caps
+
+
+@dataclass
+class ColumnarPayload:
+    """Packed per-query artefacts of one window (columnar engines).
+
+    ``ge``/``lt`` rows are the packed window-vs-query signature planes;
+    which rows hold valid data is tracked by ``encoded``. ``present``
+    marks the columns whose window signature survived payload-level
+    Lemma 2 (the columnar analogue of ``WindowPayload.sigs``), and
+    ``lazy_charged`` tracks which columns have already paid the
+    one-per-(window, query) lazy ``signature_encodes`` accounting of the
+    scalar path's memoised :meth:`EvalContext.window_signature`.
+    """
+
+    related_mask: np.ndarray  #: ``(Q,)`` bool — relevance (sketch scoring)
+    present: Optional[np.ndarray] = None  #: ``(Q,)`` bool — live window sigs
+    ge: Optional[np.ndarray] = None  #: ``(Q, W)`` uint64
+    lt: Optional[np.ndarray] = None  #: ``(Q, W)`` uint64
+    encoded: Optional[np.ndarray] = None  #: ``(Q,)`` bool — rows computed
+    lazy_charged: Optional[np.ndarray] = None  #: ``(Q,)`` bool — counted
 
 
 @dataclass
@@ -57,6 +98,7 @@ class WindowPayload:
     sigs: Dict[int, BitSignature] = field(default_factory=dict)
     related: Set[int] = field(default_factory=set)
     lazy_sigs: Dict[int, BitSignature] = field(default_factory=dict)
+    col: Optional[ColumnarPayload] = None
 
 
 class EvalContext:
@@ -87,7 +129,8 @@ class EvalContext:
         )
         self.global_max_windows = max(self.max_windows.values())
         self.all_qids: Set[int] = set(queries.query_ids)
-        self._query_matrix_cache: Optional[tuple] = None
+        self.vectorized = bool(config.vectorized)
+        self._query_columns_cache: Optional[QueryColumns] = None
 
     def refresh_queries(self) -> None:
         """Recompute query-derived state after subscribe/unsubscribe."""
@@ -96,17 +139,27 @@ class EvalContext:
         )
         self.global_max_windows = max(self.max_windows.values())
         self.all_qids = set(self.queries.query_ids)
-        self._query_matrix_cache = None
+        self._query_columns_cache = None
 
-    def _query_matrix(self) -> tuple:
-        """``(qids, (m, K) value matrix)`` for batched window encoding."""
-        if self._query_matrix_cache is None:
-            qids = self.queries.query_ids
+    def query_columns(self) -> QueryColumns:
+        """The columnar view of the active query set (cached)."""
+        if self._query_columns_cache is None:
+            qids = tuple(self.queries.query_ids)
             matrix = np.stack(
                 [self.queries.get(qid).sketch.values for qid in qids]
             )
-            self._query_matrix_cache = (qids, matrix)
-        return self._query_matrix_cache
+            caps = np.array(
+                [self.max_windows[qid] for qid in qids], dtype=np.int64
+            )
+            self._query_columns_cache = QueryColumns(
+                qids=qids, matrix=matrix, max_windows=caps
+            )
+        return self._query_columns_cache
+
+    def _query_matrix(self) -> tuple:
+        """``(qids, (m, K) value matrix)`` for batched window encoding."""
+        columns = self.query_columns()
+        return (list(columns.qids), columns.matrix)
 
     # ------------------------------------------------------------------
     # phase timing
@@ -198,6 +251,11 @@ class EvalContext:
             return self._window_payload(window)
 
     def _window_payload(self, window: BasicWindow) -> WindowPayload:
+        if self.vectorized:
+            return self._window_payload_columnar(window)
+        return self._window_payload_scalar(window)
+
+    def _window_payload_scalar(self, window: BasicWindow) -> WindowPayload:
         if self.index is not None:
             self.registry.inc("engine.index_probes")
             related_list = probe_index(
@@ -245,3 +303,134 @@ class EvalContext:
             return WindowPayload(window=window, sigs=sigs, related=set(sigs))
 
         return WindowPayload(window=window, related=set(self.all_qids))
+
+    # ------------------------------------------------------------------
+    # columnar window payloads (the vectorized engines' input)
+    # ------------------------------------------------------------------
+
+    def _window_payload_columnar(self, window: BasicWindow) -> WindowPayload:
+        """Packed-plane payload with the scalar path's exact accounting.
+
+        Counter parity with :meth:`_window_payload_scalar` is load-bearing
+        (the golden-equivalence suite asserts it): the no-index bit path
+        charges one ``signature_encodes`` per subscribed query and one
+        ``signature_prunes`` per window-level Lemma 2 casualty; the index
+        path charges only the probe.
+        """
+        columns = self.query_columns()
+        num_queries = len(columns.qids)
+        width = plane_words(self.config.num_hashes)
+
+        if self.index is not None:
+            self.registry.inc("engine.index_probes")
+            related_list = probe_index(
+                window.sketch,
+                self.index,
+                self.config.threshold,
+                prune=self.config.prune and self.is_bit,
+            )
+            related_mask = np.zeros(num_queries, dtype=bool)
+            column_of = {qid: i for i, qid in enumerate(columns.qids)}
+            if not self.is_bit:
+                for element in related_list:
+                    related_mask[column_of[element.qid]] = True
+                return WindowPayload(
+                    window=window,
+                    related={element.qid for element in related_list},
+                    col=ColumnarPayload(related_mask=related_mask),
+                )
+            ge = np.zeros((num_queries, width), dtype=np.uint64)
+            lt = np.zeros((num_queries, width), dtype=np.uint64)
+            byte_width = width * 8
+            for element in related_list:
+                row = column_of[element.qid]
+                related_mask[row] = True
+                ge[row] = np.frombuffer(
+                    element.ge.to_bytes(byte_width, "little"), dtype="<u8"
+                )
+                lt[row] = np.frombuffer(
+                    element.lt.to_bytes(byte_width, "little"), dtype="<u8"
+                )
+            return WindowPayload(
+                window=window,
+                related={element.qid for element in related_list},
+                col=ColumnarPayload(
+                    related_mask=related_mask,
+                    present=related_mask.copy(),
+                    ge=ge,
+                    lt=lt,
+                    encoded=related_mask.copy(),
+                    lazy_charged=np.zeros(num_queries, dtype=bool),
+                ),
+            )
+
+        if self.is_bit:
+            ge, lt = encode_planes(window.sketch.values, columns.matrix)
+            self.registry.inc("engine.signature_encodes", num_queries)
+            if self.config.prune:
+                prunable = lemma2_prunable(
+                    popcount_planes(lt),
+                    self.config.num_hashes,
+                    self.config.threshold,
+                )
+                pruned = int(np.count_nonzero(prunable))
+                if pruned:
+                    self.registry.inc("engine.signature_prunes", pruned)
+                present = ~prunable
+            else:
+                present = np.ones(num_queries, dtype=bool)
+            return WindowPayload(
+                window=window,
+                related={
+                    qid
+                    for qid, live in zip(columns.qids, present.tolist())
+                    if live
+                },
+                col=ColumnarPayload(
+                    related_mask=present.copy(),
+                    present=present,
+                    ge=ge,
+                    lt=lt,
+                    encoded=np.ones(num_queries, dtype=bool),
+                    lazy_charged=np.zeros(num_queries, dtype=bool),
+                ),
+            )
+
+        return WindowPayload(
+            window=window,
+            related=set(self.all_qids),
+            col=ColumnarPayload(
+                related_mask=np.ones(num_queries, dtype=bool)
+            ),
+        )
+
+    def window_planes(
+        self, payload: WindowPayload, needed: np.ndarray
+    ) -> ColumnarPayload:
+        """Ensure window-vs-query planes exist for the ``needed`` columns.
+
+        The packed analogue of :meth:`window_signature`: columns outside
+        the payload's ``present`` set that a candidate still tracks need
+        the window's relation bits. Each such column is charged one
+        ``signature_encodes`` on first use per window — exactly the
+        scalar path's per-(window, query) memoised encode — even when the
+        planes themselves were precomputed at payload construction.
+        """
+        col = payload.col
+        to_charge = needed & ~col.present & ~col.lazy_charged
+        charges = int(np.count_nonzero(to_charge))
+        if charges:
+            self.registry.inc("engine.signature_encodes", charges)
+            col.lazy_charged |= to_charge
+        to_compute = needed & ~col.encoded
+        if to_compute.any():
+            columns = self.query_columns()
+            values = payload.window.sketch.values
+            rows = np.flatnonzero(to_compute)
+            submatrix = columns.matrix[rows]
+            col.ge[rows] = pack_bool_planes(
+                values[np.newaxis, :] <= submatrix
+            )
+            col.lt[rows] = pack_bool_planes(values[np.newaxis, :] < submatrix)
+            col.encoded[to_compute] = True
+        return col

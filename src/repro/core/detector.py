@@ -16,14 +16,14 @@ import numpy as np
 
 from repro.config import CombinationOrder, DetectorConfig
 from repro.core.context import EvalContext
-from repro.core.engine_geometric import GeometricEngine
-from repro.core.engine_sequential import SequentialEngine
+from repro.core.engine_geometric import ColumnarGeometricEngine, GeometricEngine
+from repro.core.engine_sequential import ColumnarSequentialEngine, SequentialEngine
 from repro.core.monitor import EngineStats
 from repro.core.query import Query, QuerySet
 from repro.core.results import Match
 from repro.errors import DetectionError
 from repro.index.hq import HashQueryIndex
-from repro.minhash.windows import BasicWindow, iter_basic_windows
+from repro.minhash.windows import BasicWindow, build_basic_windows
 from repro.obs.registry import MetricsRegistry
 
 __all__ = ["StreamingDetector"]
@@ -85,11 +85,19 @@ class StreamingDetector:
             registry=self.registry,
         )
         if config.order is CombinationOrder.SEQUENTIAL:
-            self.engine: SequentialEngine | GeometricEngine = SequentialEngine(
+            sequential_cls = (
+                ColumnarSequentialEngine if config.vectorized
+                else SequentialEngine
+            )
+            self.engine: SequentialEngine | GeometricEngine = sequential_cls(
                 self.context
             )
         else:
-            self.engine = GeometricEngine(self.context)
+            geometric_cls = (
+                ColumnarGeometricEngine if config.vectorized
+                else GeometricEngine
+            )
+            self.engine = geometric_cls(self.context)
         self.matches: List[Match] = []
 
     # ------------------------------------------------------------------
@@ -145,14 +153,14 @@ class StreamingDetector:
         all_matches: List[Match] = []
         offset_windows = stats.windows_processed
         offset_frames = stats.frames_processed
-        windows = iter_basic_windows(
-            ids, self.window_frames, self.queries.family
-        )
-        while True:
-            with self.registry.phase("phase.sketch"):
-                window = next(windows, None)
-            if window is None:
-                break
+        with self.registry.phase("phase.sketch"):
+            # One batched hashing pass sketches every window of the
+            # chunk (MinHashFamily.sketch_many) — same sketch values as
+            # per-window hashing, a fraction of the calls.
+            windows = build_basic_windows(
+                ids, self.window_frames, self.queries.family
+            )
+        for window in windows:
             shifted = BasicWindow(
                 index=window.index + offset_windows,
                 start_frame=window.start_frame + offset_frames,
@@ -188,11 +196,4 @@ class StreamingDetector:
             self.index.remove(qid)
             self.index.warm_caches()
         self.context.refresh_queries()
-        holders = (
-            self.engine.candidates
-            if isinstance(self.engine, SequentialEngine)
-            else self.engine.segments
-        )
-        for holder in holders:
-            holder.sigs.pop(qid, None)
-            holder.relevant.discard(qid)
+        self.engine.purge_query(qid)

@@ -10,6 +10,7 @@ way to 1-D cell ids.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -44,9 +45,17 @@ class FingerprintExtractor:
     config: FingerprintConfig = field(default_factory=FingerprintConfig)
     strategy: str = "spread"
 
-    @property
+    @cached_property
     def selector(self) -> CoefficientSelector:
-        """The d-of-D selector implied by the configuration."""
+        """The d-of-D selector implied by the configuration.
+
+        Cached: the selector is immutable and derived only from the
+        (frozen) configuration, but constructing one recomputes the
+        coefficient ranking, which used to happen on every frame batch.
+        ``cached_property`` stores the instance in ``__dict__`` directly,
+        which works on a frozen dataclass because it never goes through
+        the blocked ``__setattr__``.
+        """
         return CoefficientSelector(
             d=self.config.d,
             num_blocks=self.config.num_blocks,
@@ -55,9 +64,12 @@ class FingerprintExtractor:
             grid_cols=self.config.block_cols,
         )
 
-    @property
+    @cached_property
     def partitioner(self) -> GridPyramidPartitioner:
-        """The grid-pyramid partitioner implied by the configuration."""
+        """The grid-pyramid partitioner implied by the configuration.
+
+        Cached for the same reason as :attr:`selector`.
+        """
         return GridPyramidPartitioner(d=self.config.d, u=self.config.u)
 
     def features_from_frames(self, frames: np.ndarray) -> np.ndarray:

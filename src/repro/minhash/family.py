@@ -20,7 +20,7 @@ instead of silent garbage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -101,18 +101,33 @@ class MinHashFamily:
             Shape ``(K, len(elements))`` of int64 hash values in
             ``[0, prime)``.
         """
-        ids = np.asarray(elements, dtype=np.int64)
-        if ids.ndim != 1:
-            raise SketchError(f"elements must be 1-D, got shape {ids.shape}")
-        if ids.size and (ids.min() < 0 or ids.max() >= self.prime):
-            raise SketchError(
-                f"elements must lie in [0, {self.prime}); "
-                f"got range [{ids.min()}, {ids.max()}]"
-            )
+        ids = self._checked_int64(elements)
         mixed = _mix_bits(ids)
         return (
             self._a[:, np.newaxis] * mixed[np.newaxis, :] + self._b[:, np.newaxis]
         ) % self.prime
+
+    def _checked_int64(self, elements: np.ndarray) -> np.ndarray:
+        """Validate an element array, copying only when conversion demands.
+
+        The range check is a single unsigned comparison pass: a negative
+        int64 reinterprets as a huge uint64, so ``[0, prime)`` membership
+        is exactly ``uint64(x) < prime`` (min/max are only computed on
+        the cold error path).
+        """
+        ids = np.asarray(elements)
+        if ids.dtype != np.int64:
+            ids = ids.astype(np.int64)
+        if ids.ndim != 1:
+            raise SketchError(f"elements must be 1-D, got shape {ids.shape}")
+        if ids.size and not (
+            np.ascontiguousarray(ids).view(np.uint64) < np.uint64(self.prime)
+        ).all():
+            raise SketchError(
+                f"elements must lie in [0, {self.prime}); "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        return ids
 
     def sketch(self, elements: Iterable[int]) -> Sketch:
         """K-min-hash sketch of a set of elements.
@@ -121,13 +136,54 @@ class MinHashFamily:
         empty collection yields the :meth:`empty_sketch`, the identity of
         sketch combination.
         """
-        ids = np.fromiter(
-            (int(e) for e in elements), dtype=np.int64
-        ) if not isinstance(elements, np.ndarray) else np.asarray(elements, dtype=np.int64)
+        if isinstance(elements, np.ndarray):
+            ids = self._checked_int64(elements)
+        else:
+            ids = self._checked_int64(
+                np.fromiter((int(e) for e in elements), dtype=np.int64)
+            )
         if ids.size == 0:
             return self.empty_sketch()
-        values = self.hash_values(np.unique(ids)).min(axis=1)
+        mixed = _mix_bits(np.unique(ids))
+        values = (
+            (self._a[:, np.newaxis] * mixed[np.newaxis, :] + self._b[:, np.newaxis])
+            % self.prime
+        ).min(axis=1)
         return Sketch(values=values, family=self.fingerprint)
+
+    def sketch_many(self, element_arrays: Sequence[np.ndarray]) -> List[Sketch]:
+        """K-min-hash sketches of many element sets in one hashing pass.
+
+        All arrays are validated, concatenated and hashed as a single
+        ``(K, N)`` matrix, then reduced to per-set minima with one
+        segmented reduction — the batched form `StreamingDetector` uses
+        to sketch every basic window of a chunk at once. Empty sets yield
+        the :meth:`empty_sketch` values, exactly as :meth:`sketch`.
+
+        Elements are assumed distinct *within each array* (the windowing
+        layer passes ``np.unique`` output); duplicates would still be
+        correct, only redundant work.
+        """
+        fingerprint = self.fingerprint
+        if not element_arrays:
+            return []
+        checked = [self._checked_int64(ids) for ids in element_arrays]
+        lengths = np.array([ids.size for ids in checked], dtype=np.int64)
+        nonempty = lengths > 0
+        values = np.full(
+            (len(checked), self.num_hashes), self.prime, dtype=np.int64
+        )
+        if nonempty.any():
+            mixed = _mix_bits(np.concatenate([c for c in checked if c.size]))
+            hashed = (
+                self._a[:, np.newaxis] * mixed[np.newaxis, :]
+                + self._b[:, np.newaxis]
+            ) % self.prime
+            offsets = np.zeros(int(nonempty.sum()), dtype=np.int64)
+            np.cumsum(lengths[nonempty][:-1], out=offsets[1:])
+            minima = np.minimum.reduceat(hashed, offsets, axis=1)
+            values[nonempty] = minima.T
+        return [Sketch._raw(row, fingerprint) for row in values]
 
     def empty_sketch(self) -> Sketch:
         """The identity sketch: every coordinate at the +inf sentinel.

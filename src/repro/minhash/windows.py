@@ -9,7 +9,7 @@ combinations of consecutive basic windows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterator, List, Sequence
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from repro.errors import SketchError
 from repro.minhash.family import MinHashFamily
 from repro.minhash.sketch import Sketch
 
-__all__ = ["BasicWindow", "iter_basic_windows"]
+__all__ = ["BasicWindow", "build_basic_windows", "iter_basic_windows"]
 
 
 @dataclass(frozen=True)
@@ -96,3 +96,42 @@ def iter_basic_windows(
             sketch=family.sketch(distinct),
         )
         window_index += 1
+
+
+def build_basic_windows(
+    cell_ids: Sequence[int] | np.ndarray,
+    window_frames: int,
+    family: MinHashFamily,
+    drop_partial: bool = False,
+) -> List[BasicWindow]:
+    """Chop a cell-id stream into sketched basic windows, batched.
+
+    Same windows as :func:`iter_basic_windows` (identical sketch values —
+    min over the same hash matrix), but every window of the chunk is
+    hashed in one :meth:`~repro.minhash.family.MinHashFamily.sketch_many`
+    pass instead of one ``(K, n)`` hashing call per window. This is the
+    ``phase.sketch`` hot path of ``StreamingDetector.process_cell_ids``.
+    """
+    if window_frames <= 0:
+        raise SketchError(f"window_frames must be positive, got {window_frames}")
+    ids = np.asarray(cell_ids, dtype=np.int64)
+    if ids.ndim != 1:
+        raise SketchError(f"cell ids must be 1-D, got shape {ids.shape}")
+    total = ids.shape[0]
+    starts = list(range(0, total, window_frames))
+    if drop_partial and starts and total - starts[-1] < window_frames:
+        starts.pop()
+    chunks = [np.unique(ids[start : start + window_frames]) for start in starts]
+    sketches = family.sketch_many(chunks)
+    return [
+        BasicWindow(
+            index=window_index,
+            start_frame=start,
+            num_frames=int(min(window_frames, total - start)),
+            cell_ids=distinct,
+            sketch=sketch,
+        )
+        for window_index, (start, distinct, sketch) in enumerate(
+            zip(starts, chunks, sketches)
+        )
+    ]

@@ -21,6 +21,14 @@ positions: 1 iff the relation is ``<``). Then
 * ``n0`` (zeros on even positions) = ``K − popcount(ge)`` = #(``>``),
 * ``n1`` (ones on odd positions) = ``popcount(lt)`` = #(``<``),
 * Lemma 1: ``sim = 1 − (n0 + n1) / K``.
+
+The module also provides the *packed-plane* kernels used by the columnar
+engines: planes stored as little-endian ``uint64`` word arrays of width
+``⌈K/64⌉`` (`plane_words`), so whole ``(C, Q)`` blocks of signatures OR,
+popcount and Lemma-2-prune as bulk bitwise numpy operations. Word ``w``,
+bit ``b`` of a packed plane is bit ``64w + b`` of the equivalent Python
+int, making the two representations freely convertible
+(`planes_from_signature` / `signature_from_planes`).
 """
 
 from __future__ import annotations
@@ -33,7 +41,90 @@ from repro.errors import SignatureError
 from repro.minhash.sketch import Sketch
 from repro.utils.bitops import count_ones, low_mask
 
-__all__ = ["BitSignature"]
+__all__ = [
+    "BitSignature",
+    "encode_planes",
+    "pack_bool_planes",
+    "plane_words",
+    "planes_from_signature",
+    "popcount_planes",
+    "signature_from_planes",
+]
+
+PLANE_WORD_BITS = 64
+
+
+def plane_words(num_hashes: int) -> int:
+    """``W = ⌈K/64⌉``, the packed width of one K-bit plane."""
+    return (num_hashes + PLANE_WORD_BITS - 1) // PLANE_WORD_BITS
+
+
+def pack_bool_planes(flags: np.ndarray) -> np.ndarray:
+    """Pack ``(..., K)`` booleans into ``(..., W)`` little-endian uint64.
+
+    Bit ``r`` of the flat K-bit plane is ``flags[..., r]``, matching the
+    ``np.packbits(..., bitorder="little")`` / ``int.from_bytes`` layout
+    used by the scalar :meth:`BitSignature` constructors.
+    """
+    packed = np.packbits(flags, axis=-1, bitorder="little")
+    pad = (-packed.shape[-1]) % 8
+    if pad:
+        packed = np.concatenate(
+            [packed, np.zeros(packed.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+    packed = np.ascontiguousarray(packed)
+    return packed.view("<u8").reshape(flags.shape[:-1] + (-1,))
+
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount_planes(planes: np.ndarray) -> np.ndarray:
+        """Per-plane popcount: sums ``(..., W)`` words to ``(...,)`` ints."""
+        return np.bitwise_count(planes).sum(axis=-1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _BYTE_POPCOUNT = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def popcount_planes(planes: np.ndarray) -> np.ndarray:
+        """Per-plane popcount via a byte lookup table (numpy < 2.0)."""
+        as_bytes = planes.reshape(planes.shape[:-1] + (-1,)).view(np.uint8)
+        return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def encode_planes(
+    window_values: np.ndarray, query_matrix: np.ndarray
+) -> tuple:
+    """Packed window-vs-query planes for a stack of queries.
+
+    Compares one window's ``(K,)`` min-hash values against a ``(Q, K)``
+    query-value matrix and returns ``(ge, lt)`` planes of shape
+    ``(Q, W)`` — the batched form of :meth:`BitSignature.encode`.
+    """
+    ge = pack_bool_planes(window_values[np.newaxis, :] <= query_matrix)
+    lt = pack_bool_planes(window_values[np.newaxis, :] < query_matrix)
+    return ge, lt
+
+
+def planes_from_signature(signature: "BitSignature") -> tuple:
+    """One signature's ``(ge, lt)`` planes as ``(W,)`` uint64 arrays."""
+    width = plane_words(signature.num_hashes) * 8
+    ge = np.frombuffer(signature.ge.to_bytes(width, "little"), dtype="<u8")
+    lt = np.frombuffer(signature.lt.to_bytes(width, "little"), dtype="<u8")
+    return ge, lt
+
+
+def signature_from_planes(
+    ge: np.ndarray, lt: np.ndarray, num_hashes: int
+) -> "BitSignature":
+    """Rebuild a scalar :class:`BitSignature` from packed plane rows."""
+    return BitSignature._raw(
+        int.from_bytes(ge.tobytes(), "little"),
+        int.from_bytes(lt.tobytes(), "little"),
+        num_hashes,
+    )
 
 
 def _pack_bits(flags: np.ndarray) -> int:

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import SignatureError
 from repro.signature.bitsig import BitSignature
 
-__all__ = ["lemma2_bound", "violates_lemma2"]
+__all__ = ["lemma2_bound", "lemma2_prunable", "violates_lemma2"]
 
 
 def lemma2_bound(num_hashes: int, threshold: float) -> int:
@@ -35,3 +37,15 @@ def lemma2_bound(num_hashes: int, threshold: float) -> int:
 def violates_lemma2(signature: BitSignature, threshold: float) -> bool:
     """Whether the signature can be pruned (``n1 > K(1−δ)``)."""
     return signature.n1 > lemma2_bound(signature.num_hashes, threshold)
+
+
+def lemma2_prunable(
+    n1_counts: np.ndarray, num_hashes: int, threshold: float
+) -> np.ndarray:
+    """Vectorized Lemma 2: the boolean prune mask for a block of ``n1``.
+
+    Element-wise form of :func:`violates_lemma2` over an integer array of
+    ``<``-relation counts (any shape), sharing the same bound so scalar
+    and columnar paths prune identically.
+    """
+    return n1_counts > lemma2_bound(num_hashes, threshold)
