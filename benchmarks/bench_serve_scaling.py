@@ -1,0 +1,226 @@
+"""Serving scalability benchmark: throughput vs worker count.
+
+Measures end-to-end stream throughput (key frames/second through
+``DetectionService.run``) as the query set is sharded across 1, 2 and 4
+workers, for the serial, thread and process backends, against the
+single-process ``StreamingDetector`` + ``LiveMonitor`` baseline. Every
+configuration detects the same copies — shard transparency is enforced
+by ``tests/test_serve_equivalence.py`` — so the only variable here is
+wall-clock.
+
+The workload is query-heavy on purpose (many long Sequential queries →
+large per-window candidate×query work) because that is the regime query
+sharding targets: per-worker cost scales with its shard's queries while
+the stream cost replicates. Python's GIL means the thread backend mostly
+measures orchestration overhead; the process backend is where real
+speedups can appear once per-chunk work dominates IPC.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_scaling.py [--quick]
+
+Writes ``BENCH_SERVE.json`` at the repository root (override with
+``--output``). Standalone CLI, not a pytest module; the rows feed
+docs/serving.md and the CI serve-smoke step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import DetectorConfig
+from repro.core.detector import StreamingDetector
+from repro.core.live import LiveMonitor
+from repro.core.query import QuerySet
+from repro.minhash.family import MinHashFamily
+from repro.serve import DetectionService
+
+BENCH_SEED = 20080407  # ICDE 2008 in Cancún
+KEYFRAMES_PER_SECOND = 2.0
+WINDOW_SECONDS = 5.0
+TEMPO_SCALE = 2.0
+THRESHOLD = 0.7
+CELL_ID_SPACE = 40_960  # 2 d u^d with d=5, u=4
+QUERY_SECONDS = (40.0, 60.0)
+CHUNK_WINDOWS = 8  # stream chunk = 8 basic windows
+
+
+def build_workload(rng: np.random.Generator, num_queries: int,
+                   stream_frames: int):
+    """Query cell-id sets and a chunked stream with embedded copies."""
+    frames_min = int(QUERY_SECONDS[0] * KEYFRAMES_PER_SECOND)
+    frames_max = int(QUERY_SECONDS[1] * KEYFRAMES_PER_SECOND)
+    cell_ids: Dict[int, np.ndarray] = {}
+    frame_counts: Dict[int, int] = {}
+    for qid in range(num_queries):
+        n = int(rng.integers(frames_min, frames_max + 1))
+        cell_ids[qid] = rng.integers(0, CELL_ID_SPACE, size=n)
+        frame_counts[qid] = n
+    stream = rng.integers(0, CELL_ID_SPACE, size=stream_frames)
+    for qid in (0, num_queries // 2):
+        copy = np.asarray(cell_ids[qid])
+        at = int(rng.integers(0, stream_frames - copy.size))
+        stream[at : at + copy.size] = copy
+    window_frames = max(1, round(WINDOW_SECONDS * KEYFRAMES_PER_SECOND))
+    chunk_frames = CHUNK_WINDOWS * window_frames
+    chunks = [
+        stream[offset : offset + chunk_frames]
+        for offset in range(0, stream_frames, chunk_frames)
+    ]
+    return cell_ids, frame_counts, chunks
+
+
+def run_baseline(config, queries, chunks) -> Dict[str, object]:
+    """Single-process reference: detector + live monitor, no service."""
+    detector = StreamingDetector(config, queries, KEYFRAMES_PER_SECOND)
+    monitor = LiveMonitor(detector)
+    start = time.perf_counter()
+    matches = []
+    for chunk in chunks:
+        matches.extend(monitor.push_cell_ids(chunk))
+    matches.extend(monitor.flush())
+    elapsed = time.perf_counter() - start
+    frames = sum(len(chunk) for chunk in chunks)
+    return {
+        "matches": len(matches),
+        "elapsed_s": elapsed,
+        "frames_per_sec": frames / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_service(config, queries, chunks, workers, backend):
+    """One timed service pass (construction excluded, like the baseline)."""
+    service = DetectionService(
+        config, queries, KEYFRAMES_PER_SECOND,
+        num_workers=workers, backend=backend,
+    )
+    try:
+        start = time.perf_counter()
+        matches = service.run(chunks)
+        elapsed = time.perf_counter() - start
+    finally:
+        service.close()
+    frames = sum(len(chunk) for chunk in chunks)
+    return {
+        "matches": len(matches),
+        "elapsed_s": elapsed,
+        "frames_per_sec": frames / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small stream, fewer queries, one repeat",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_SERVE.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per configuration (best is kept)",
+    )
+    args = parser.parse_args(argv)
+
+    num_queries = 8 if args.quick else 32
+    stream_frames = 800 if args.quick else 4800
+    repeats = args.repeats or (1 if args.quick else 3)
+    worker_counts = [1, 2] if args.quick else [1, 2, 4]
+    backends = ["serial", "process"] if args.quick else [
+        "serial", "thread", "process"
+    ]
+
+    rng = np.random.default_rng(BENCH_SEED)
+    cell_ids, frame_counts, chunks = build_workload(
+        rng, num_queries, stream_frames
+    )
+    config = DetectorConfig(
+        num_hashes=128 if args.quick else 400,
+        threshold=THRESHOLD,
+        window_seconds=WINDOW_SECONDS,
+        tempo_scale=TEMPO_SCALE,
+    )
+    family = MinHashFamily(num_hashes=config.num_hashes, seed=BENCH_SEED)
+
+    def fresh_queries() -> QuerySet:
+        # Detectors mutate their QuerySet on churn; benches rebuild it.
+        return QuerySet.from_cell_ids(cell_ids, frame_counts, family)
+
+    results: List[Dict[str, object]] = []
+    baseline = None
+    for _ in range(repeats):
+        sample = run_baseline(config, fresh_queries(), chunks)
+        if baseline is None or (
+            sample["frames_per_sec"] > baseline["frames_per_sec"]
+        ):
+            baseline = sample
+    results.append({"backend": "baseline", "workers": 1, **baseline})
+    print(f"{'baseline':>8s} w=1 {baseline['frames_per_sec']:>10.1f} "
+          f"frames/s ({baseline['matches']} matches)")
+
+    for backend in backends:
+        for workers in worker_counts:
+            best = None
+            for _ in range(repeats):
+                sample = run_service(
+                    config, fresh_queries(), chunks, workers, backend
+                )
+                if best is None or (
+                    sample["frames_per_sec"] > best["frames_per_sec"]
+                ):
+                    best = sample
+            if best["matches"] != baseline["matches"]:
+                raise SystemExit(
+                    f"{backend}/w={workers} found {best['matches']} "
+                    f"matches, baseline {baseline['matches']} — shard "
+                    "transparency violated"
+                )
+            results.append({"backend": backend, "workers": workers, **best})
+            print(f"{backend:>8s} w={workers} "
+                  f"{best['frames_per_sec']:>10.1f} frames/s "
+                  f"(x{best['frames_per_sec'] / baseline['frames_per_sec']:.2f} "
+                  "vs baseline)")
+
+    report = {
+        "benchmark": "serve_scaling",
+        "seed": BENCH_SEED,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workload": {
+            "keyframes_per_second": KEYFRAMES_PER_SECOND,
+            "window_seconds": WINDOW_SECONDS,
+            "tempo_scale": TEMPO_SCALE,
+            "threshold": THRESHOLD,
+            "num_hashes": config.num_hashes,
+            "num_queries": num_queries,
+            "stream_frames": stream_frames,
+            "chunk_windows": CHUNK_WINDOWS,
+            "query_seconds": list(QUERY_SECONDS),
+            "repeats": repeats,
+        },
+        "results": results,
+    }
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

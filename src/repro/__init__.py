@@ -33,7 +33,7 @@ from repro.core.live import LiveMonitor
 from repro.core.monitor import EngineStats
 from repro.core.query import Query, QuerySet
 from repro.core.results import Detection, Match, merge_matches
-from repro.errors import ReproError
+from repro.errors import ReproError, ServeError
 from repro.evaluation.metrics import PrecisionRecall, score_matches
 from repro.evaluation.runner import ExperimentResult, PreparedWorkload, run_detector
 from repro.features.pipeline import FingerprintExtractor
@@ -44,9 +44,19 @@ from repro.minhash.family import MinHashFamily
 from repro.minhash.sketch import Sketch
 from repro.minhash.windows import BasicWindow, iter_basic_windows
 from repro.obs.export import logfmt_digest, snapshot, to_json
+from repro.obs.merge import merge_snapshots
 from repro.obs.registry import MetricsRegistry, PhaseTimer
 from repro.partition.gridpyramid import GridPyramidPartitioner
 from repro.persistence import load_query_set, save_query_set
+from repro.serve import (
+    BackpressurePolicy,
+    CheckpointManager,
+    DetectionService,
+    MatchCollector,
+    ServiceCheckpoint,
+    ShardPlan,
+    ShardPlanner,
+)
 from repro.signature.bitsig import BitSignature
 from repro.video.clip import VideoClip
 from repro.video.synth import ClipSynthesizer
@@ -57,14 +67,17 @@ from repro.workloads.library import ClipLibrary
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackpressurePolicy",
     "BasicWindow",
     "BitSignature",
     "BottomKFamily",
     "BottomKSketch",
+    "CheckpointManager",
     "ClipLibrary",
     "ClipSynthesizer",
     "CombinationOrder",
     "Detection",
+    "DetectionService",
     "DetectorConfig",
     "DoctoredStream",
     "EngineStats",
@@ -76,6 +89,7 @@ __all__ = [
     "HashQueryIndex",
     "LiveMonitor",
     "Match",
+    "MatchCollector",
     "MetricsRegistry",
     "MinHashFamily",
     "Occurrence",
@@ -87,6 +101,10 @@ __all__ = [
     "Representation",
     "ReproError",
     "ScaleProfile",
+    "ServeError",
+    "ServiceCheckpoint",
+    "ShardPlan",
+    "ShardPlanner",
     "Sketch",
     "StreamDoctor",
     "StreamingDetector",
@@ -97,6 +115,7 @@ __all__ = [
     "load_query_set",
     "logfmt_digest",
     "merge_matches",
+    "merge_snapshots",
     "probe_index",
     "run_detector",
     "save_query_set",

@@ -13,10 +13,15 @@ need without writing Python:
   logfmt digest.
 * ``inspect``— encode a synthetic clip through the toy codec and report
   the bitstream structure plus partial-decode statistics.
+* ``serve``  — run the same workload through the sharded multi-worker
+  detection service (``repro.serve``): pick a worker count and backend,
+  optionally checkpoint every N chunks and resume a killed run from the
+  latest snapshot with ``--resume``.
 
-``demo``, ``sweep`` and ``stats`` all accept ``--metrics-out PATH`` to
-write the same ``repro.obs/1`` JSON snapshot benchmarks dump next to
-their figures (sweeps write one snapshot per swept value).
+``demo``, ``sweep``, ``stats`` and ``serve`` all accept
+``--metrics-out PATH`` to write the same ``repro.obs/1`` JSON snapshot
+benchmarks dump next to their figures (sweeps write one snapshot per
+swept value; serve writes the cross-worker merged snapshot).
 """
 
 from __future__ import annotations
@@ -106,6 +111,42 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--no-timers", action="store_true",
                        help="disable phase wall-clock timers (counters "
                        "only)")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the sharded multi-worker detection service"
+    )
+    _add_workload_args(serve)
+    _add_detector_args(serve)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="shard / worker count")
+    serve.add_argument("--backend", choices=("serial", "thread", "process"),
+                       default="serial",
+                       help="executor: in-process, threads, or OS processes")
+    serve.add_argument("--plan", choices=("count", "load"), default="load",
+                       help="shard balancing strategy")
+    serve.add_argument("--queue-capacity", type=int, default=4,
+                       help="bound on each worker's ingestion queue")
+    serve.add_argument("--policy",
+                       choices=("block", "drop_oldest", "shed"),
+                       default="block",
+                       help="backpressure policy when a queue is full "
+                       "(only 'block' preserves exact single-process "
+                       "equivalence)")
+    serve.add_argument("--chunk-seconds", type=float, default=30.0,
+                       help="stream seconds per ingested chunk")
+    serve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="directory for service snapshots")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="N", help="snapshot every N chunks")
+    serve.add_argument("--stop-after", type=int, default=0, metavar="N",
+                       help="stop (without flushing) after N chunks — "
+                       "pairs with --resume to exercise recovery")
+    serve.add_argument("--resume", action="store_true",
+                       help="resume from the latest snapshot in "
+                       "--checkpoint-dir")
+    serve.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the merged cross-worker JSON snapshot "
+                       "here")
 
     inspect = subparsers.add_parser(
         "inspect", help="encode a synthetic clip and inspect the bitstream"
@@ -232,6 +273,103 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.core.query import QuerySet
+    from repro.evaluation.metrics import score_matches
+    from repro.minhash.family import MinHashFamily
+    from repro.serve import (
+        BackpressurePolicy,
+        CheckpointManager,
+        DetectionService,
+    )
+
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    prepared = _build_workload(args)
+    config = _detector_config(args)
+    chunk_frames = max(
+        1, round(args.chunk_seconds * prepared.keyframes_per_second)
+    )
+    stream = prepared.stream_cell_ids
+    chunks = [
+        stream[offset : offset + chunk_frames]
+        for offset in range(0, len(stream), chunk_frames)
+    ]
+    manager = (
+        CheckpointManager(args.checkpoint_dir)
+        if args.checkpoint_dir
+        else None
+    )
+    policy = BackpressurePolicy(args.policy)
+    if args.resume:
+        service = DetectionService.restore(
+            manager,
+            expected_config=config,
+            backend=args.backend,
+            queue_capacity=args.queue_capacity,
+            policy=policy,
+        )
+        start = service.chunks_ingested
+        print(f"resumed from chunk {start} "
+              f"({len(service.matches)} matches already collected)")
+    else:
+        family = MinHashFamily(num_hashes=config.num_hashes, seed=0)
+        queries = QuerySet.from_cell_ids(
+            prepared.query_cell_ids, prepared.query_frames, family
+        )
+        service = DetectionService(
+            config,
+            queries,
+            prepared.keyframes_per_second,
+            num_workers=args.workers,
+            backend=args.backend,
+            strategy=args.plan,
+            queue_capacity=args.queue_capacity,
+            policy=policy,
+        )
+        start = 0
+    print(f"serving {len(chunks)} chunks from chunk {start} across "
+          f"{service.num_workers} {args.backend} worker(s), "
+          f"shards {service.shard_sizes()}")
+    stopped_early = False
+    for position in range(start, len(chunks)):
+        service.process_chunk(chunks[position])
+        ingested = service.chunks_ingested
+        if manager and args.checkpoint_every and (
+            ingested % args.checkpoint_every == 0
+        ):
+            path = service.checkpoint(manager)
+            print(f"checkpointed at chunk {ingested}: {path}")
+        if args.stop_after and ingested >= args.stop_after:
+            stopped_early = True
+            break
+    if stopped_early:
+        if manager:
+            path = service.checkpoint(manager)
+            print(f"stopped after chunk {service.chunks_ingested}; "
+                  f"snapshot {path} — rerun with --resume to continue")
+        else:
+            print(f"stopped after chunk {service.chunks_ingested} "
+                  "(no --checkpoint-dir, nothing saved)")
+    else:
+        service.flush()
+        quality = score_matches(
+            service.matches,
+            prepared.ground_truth,
+            max(1, round(
+                args.window_seconds * prepared.keyframes_per_second
+            )),
+        )
+        print(f"matches={len(service.matches)} "
+              f"precision={quality.precision:.3f} "
+              f"recall={quality.recall:.3f}")
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, service.metrics_snapshot())
+    service.close()
+    return 0
+
+
 def _command_inspect(args: argparse.Namespace) -> int:
     synth = ClipSynthesizer(seed=args.seed)
     clip = synth.generate_clip(args.seconds, label="inspect", fps=10.0)
@@ -275,6 +413,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_sweep(args)
     if args.command == "stats":
         return _command_stats(args)
+    if args.command == "serve":
+        return _command_serve(args)
     return _command_inspect(args)
 
 

@@ -111,6 +111,7 @@ class EvalContext:
         window_frames: int,
         index: Optional[HashQueryIndex] = None,
         registry: Optional[MetricsRegistry] = None,
+        cap_hint: int = 0,
     ) -> None:
         if window_frames <= 0:
             raise DetectionError(
@@ -127,7 +128,10 @@ class EvalContext:
         self.max_windows: Dict[int, int] = queries.max_windows_map(
             window_frames, config.tempo_scale
         )
-        self.global_max_windows = max(self.max_windows.values())
+        self.cap_hint = int(cap_hint)
+        self.global_max_windows = max(
+            max(self.max_windows.values()), self.cap_hint
+        )
         self.all_qids: Set[int] = set(queries.query_ids)
         self.vectorized = bool(config.vectorized)
         self._query_columns_cache: Optional[QueryColumns] = None
@@ -137,9 +141,26 @@ class EvalContext:
         self.max_windows = self.queries.max_windows_map(
             self.window_frames, self.config.tempo_scale
         )
-        self.global_max_windows = max(self.max_windows.values())
+        self.global_max_windows = max(
+            max(self.max_windows.values()), self.cap_hint
+        )
         self.all_qids = set(self.queries.query_ids)
         self._query_columns_cache = None
+
+    def set_cap_hint(self, cap_hint: int) -> None:
+        """Floor the candidate-expiry horizon at ``cap_hint`` windows.
+
+        A query-sharded deployment (``repro.serve``) feeds each shard
+        only a subset of the queries, yet candidate expiry must follow
+        the *global* ``max(ceil(λL/w))`` so every shard's candidate
+        lifecycle — and with it the expiry/combine/prune counters — stays
+        identical to the single-process detector. The hint never lowers
+        the bound below the shard's own queries' needs.
+        """
+        self.cap_hint = int(cap_hint)
+        self.global_max_windows = max(
+            max(self.max_windows.values()), self.cap_hint
+        )
 
     def query_columns(self) -> QueryColumns:
         """The columnar view of the active query set (cached)."""

@@ -47,6 +47,12 @@ class StreamingDetector:
         one is created when omitted. All engine counters and phase
         timers of this stream accumulate into it
         (``detector.stats`` is a typed view over the same registry).
+    cap_hint:
+        Optional floor (in basic windows) for the candidate-expiry
+        horizon. Query-sharded deployments pass the global
+        ``max(ceil(λL/w))`` over *all* shards so a shard that holds only
+        short queries still expires candidates on the global schedule
+        (see :meth:`set_cap_hint` and ``docs/serving.md``).
     """
 
     def __init__(
@@ -55,6 +61,7 @@ class StreamingDetector:
         queries: QuerySet,
         keyframes_per_second: float,
         registry: Optional[MetricsRegistry] = None,
+        cap_hint: int = 0,
     ) -> None:
         if keyframes_per_second <= 0:
             raise DetectionError(
@@ -83,6 +90,7 @@ class StreamingDetector:
             window_frames=self.window_frames,
             index=index,
             registry=self.registry,
+            cap_hint=cap_hint,
         )
         if config.order is CombinationOrder.SEQUENTIAL:
             sequential_cls = (
@@ -197,3 +205,7 @@ class StreamingDetector:
             self.index.warm_caches()
         self.context.refresh_queries()
         self.engine.purge_query(qid)
+
+    def set_cap_hint(self, cap_hint: int) -> None:
+        """Update the global candidate-expiry floor (sharded serving)."""
+        self.context.set_cap_hint(cap_hint)

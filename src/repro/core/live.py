@@ -11,7 +11,7 @@ and feeds the detector exactly one basic window at a time.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +35,10 @@ class LiveMonitor:
     extractor:
         Fingerprint pipeline used for encoded/raw-frame input; must use
         the same configuration the query fingerprints were built with.
+        Optional: a monitor fed pre-extracted cell ids only (the
+        evaluation runner, the sharded serving workers) may omit it, in
+        which case :meth:`push_encoded` / :meth:`push_frames` raise
+        :class:`~repro.errors.DetectionError`.
 
     Example
     -------
@@ -48,12 +52,20 @@ class LiveMonitor:
     def __init__(
         self,
         detector: StreamingDetector,
-        extractor: FingerprintExtractor,
+        extractor: Optional[FingerprintExtractor] = None,
     ) -> None:
         self.detector = detector
         self.extractor = extractor
         self._pending = np.empty(0, dtype=np.int64)
         self._flushed = False
+
+    def _require_extractor(self) -> FingerprintExtractor:
+        if self.extractor is None:
+            raise DetectionError(
+                "this LiveMonitor was built without a fingerprint "
+                "extractor; push pre-extracted cell ids instead"
+            )
+        return self.extractor
 
     @property
     def pending_frames(self) -> int:
@@ -77,15 +89,17 @@ class LiveMonitor:
 
     def push_encoded(self, encoded: EncodedVideo) -> List[Match]:
         """Feed an encoded bitstream chunk (I frames partially decoded)."""
-        return self.push_cell_ids(self.extractor.cell_ids_from_encoded(encoded))
+        extractor = self._require_extractor()
+        return self.push_cell_ids(extractor.cell_ids_from_encoded(encoded))
 
     def push_frames(
         self, frames: Union[np.ndarray, VideoClip]
     ) -> List[Match]:
         """Feed raw key frames (or a clip) through the pixel path."""
+        extractor = self._require_extractor()
         if isinstance(frames, VideoClip):
             frames = frames.frames
-        return self.push_cell_ids(self.extractor.cell_ids_from_frames(frames))
+        return self.push_cell_ids(extractor.cell_ids_from_frames(frames))
 
     def push_cell_ids(
         self, cell_ids: Union[Sequence[int], np.ndarray]
@@ -126,3 +140,17 @@ class LiveMonitor:
             return []
         tail, self._pending = self._pending, np.empty(0, dtype=np.int64)
         return self.detector.process_cell_ids(tail)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+
+    def buffer_state(self) -> Tuple[np.ndarray, bool]:
+        """``(pending cell ids, flushed)`` — the monitor's restorable
+        state, captured for checkpointing (``repro.serve``)."""
+        return self._pending.copy(), self._flushed
+
+    def restore_buffer(self, pending: np.ndarray, flushed: bool) -> None:
+        """Reinstate a :meth:`buffer_state` snapshot on a fresh monitor."""
+        self._pending = np.asarray(pending, dtype=np.int64).copy()
+        self._flushed = bool(flushed)

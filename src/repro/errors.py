@@ -96,3 +96,12 @@ class WorkloadError(ReproError):
 
 class EvaluationError(ReproError):
     """Metric computation was asked to score inconsistent inputs."""
+
+
+class ServeError(ReproError):
+    """The sharded detection service hit an inconsistent state.
+
+    Examples: a worker reporting an error for a control message, a
+    checkpoint recorded under a different configuration or shard plan,
+    or resuming a service whose checkpoint file is missing.
+    """

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.config import DetectorConfig, FingerprintConfig
 from repro.core.detector import StreamingDetector
+from repro.core.live import LiveMonitor
 from repro.core.monitor import EngineStats
 from repro.core.query import QuerySet
 from repro.core.results import Match
@@ -177,8 +178,13 @@ def run_detector(
         keyframes_per_second=prepared.keyframes_per_second,
         registry=registry,
     )
+    # Route through the live front end and drain the tail explicitly:
+    # a stream ending mid-window is processed by flush(), never silently
+    # stranded in the monitor's buffer.
+    monitor = LiveMonitor(detector)
     started = time.perf_counter()
-    matches = detector.process_cell_ids(prepared.stream_cell_ids)
+    matches = monitor.push_cell_ids(prepared.stream_cell_ids)
+    matches.extend(monitor.flush())
     cpu_seconds = time.perf_counter() - started
     quality = score_matches(
         matches, prepared.ground_truth, detector.window_frames

@@ -13,12 +13,15 @@ figures.
 """
 
 from repro.obs.export import logfmt_digest, snapshot, to_json
+from repro.obs.merge import MergeError, merge_snapshots
 from repro.obs.registry import MetricsRegistry, PhaseTimer
 
 __all__ = [
+    "MergeError",
     "MetricsRegistry",
     "PhaseTimer",
     "logfmt_digest",
+    "merge_snapshots",
     "snapshot",
     "to_json",
 ]

@@ -1,0 +1,200 @@
+"""Cross-process metric merging for sharded deployments.
+
+A query-sharded service (``repro.serve``) runs one detector — and one
+:class:`~repro.obs.registry.MetricsRegistry` — per worker. Folding those
+per-shard snapshots into one aggregate is not a blanket sum: the shards
+partition the *query* dimension but replicate the *stream* dimension, so
+the metrics split into two classes.
+
+**Additive** metrics count per-(candidate, query) or per-query work.
+Each query lives in exactly one shard, so the shard values partition the
+single-process value and the aggregate is their sum. Examples:
+``engine.signature_combines``, ``engine.sketch_comparisons``,
+``engine.matches_reported``.
+
+**Replicated** metrics count per-stream work every shard performs
+identically — each worker sees every chunk, probes its index once per
+window, and (because the service broadcasts the global candidate-cap
+hint, see ``EvalContext.set_cap_hint``) runs the exact same candidate
+lifecycle. Their per-shard values all equal the single-process value,
+and the aggregate takes that common value. Examples:
+``engine.windows_processed``, ``stream.frames_processed``,
+``engine.expired_candidates``.
+
+Phase timers are summed (aggregate CPU seconds across workers), gauges
+merge by maximum (they are point-in-time levels, e.g. queue depths), and
+distributions follow the counter split: a replicated distribution keeps
+the common per-shard summary, an additive one (per-window sums, e.g.
+``engine.signatures_maintained``) keeps the common sample count and sums
+the means — its stddev/min/max are not recoverable from summaries and
+are reported as ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "MergeError",
+    "REPLICATED_COUNTERS",
+    "REPLICATED_DISTRIBUTIONS",
+    "merge_snapshots",
+]
+
+
+class MergeError(ReproError):
+    """Per-shard snapshots disagree on a replicated (stream-scoped)
+    metric under strict merging."""
+
+
+#: Stream-scoped counters: every shard reports the single-process value.
+REPLICATED_COUNTERS = frozenset(
+    {
+        "engine.windows_processed",
+        "stream.frames_processed",
+        "stream.partial_windows",
+        "engine.index_probes",
+        "engine.expired_candidates",
+        "engine.sketch_combines",
+    }
+)
+
+#: Stream-scoped distributions: identical sample streams on every shard.
+REPLICATED_DISTRIBUTIONS = frozenset({"engine.candidates_maintained"})
+
+
+def _union_keys(snapshots: Sequence[dict], section: str) -> List[str]:
+    keys: set = set()
+    for shot in snapshots:
+        keys.update(shot.get(section, {}))
+    return sorted(keys)
+
+
+def _replicated_value(
+    name: str,
+    values: List[int],
+    strict: bool,
+    conflicts: List[str],
+) -> int:
+    distinct = set(values)
+    if len(distinct) > 1:
+        if strict:
+            raise MergeError(
+                f"replicated metric {name!r} disagrees across shards: "
+                f"{sorted(distinct)}"
+            )
+        conflicts.append(name)
+        return max(values)
+    return values[0]
+
+
+def merge_snapshots(
+    snapshots: Sequence[dict],
+    strict: bool = False,
+    replicated_counters: frozenset = REPLICATED_COUNTERS,
+    replicated_distributions: frozenset = REPLICATED_DISTRIBUTIONS,
+) -> Dict[str, object]:
+    """Fold per-shard ``repro.obs/1`` snapshots into one aggregate.
+
+    Parameters
+    ----------
+    snapshots:
+        One :func:`~repro.obs.export.snapshot` dict per worker (plus,
+        typically, the service's own registry snapshot for the
+        ``serve.*`` ingestion metrics).
+    strict:
+        When True, shards disagreeing on a replicated metric raise
+        :class:`MergeError`. The default records the metric name under
+        the result's ``"conflicts"`` and takes the maximum — under
+        load-shedding backpressure policies shards legitimately diverge
+        (dropped chunks), and the aggregate should still be reportable.
+
+    Returns
+    -------
+    dict
+        A ``repro.obs/1``-shaped snapshot with two extra keys:
+        ``"merged_from"`` (number of input snapshots) and
+        ``"conflicts"`` (replicated metric names that disagreed).
+    """
+    if not snapshots:
+        raise MergeError("cannot merge zero snapshots")
+    conflicts: List[str] = []
+
+    counters: Dict[str, int] = {}
+    for name in _union_keys(snapshots, "counters"):
+        values = [
+            shot["counters"][name]
+            for shot in snapshots
+            if name in shot.get("counters", {})
+        ]
+        if name in replicated_counters:
+            counters[name] = _replicated_value(name, values, strict, conflicts)
+        else:
+            counters[name] = sum(values)
+
+    gauges: Dict[str, float] = {}
+    for name in _union_keys(snapshots, "gauges"):
+        gauges[name] = max(
+            shot["gauges"][name]
+            for shot in snapshots
+            if name in shot.get("gauges", {})
+        )
+
+    distributions: Dict[str, Optional[dict]] = {}
+    for name in _union_keys(snapshots, "distributions"):
+        entries = [
+            shot["distributions"][name]
+            for shot in snapshots
+            if name in shot.get("distributions", {})
+        ]
+        if len(entries) == 1:
+            distributions[name] = dict(entries[0])
+            continue
+        counts = [entry["count"] for entry in entries]
+        if name in replicated_distributions:
+            keyed = [
+                (e["count"], e["mean"], e["min"], e["max"]) for e in entries
+            ]
+            if len(set(keyed)) > 1:
+                if strict:
+                    raise MergeError(
+                        f"replicated distribution {name!r} disagrees "
+                        f"across shards"
+                    )
+                conflicts.append(name)
+            distributions[name] = dict(entries[0])
+        else:
+            count = _replicated_value(
+                f"{name}.count", counts, strict, conflicts
+            )
+            distributions[name] = {
+                "count": count,
+                "mean": sum(entry["mean"] for entry in entries),
+                "stddev": None,
+                "min": None,
+                "max": None,
+            }
+
+    timers: Dict[str, dict] = {}
+    for name in _union_keys(snapshots, "timers"):
+        entries = [
+            shot["timers"][name]
+            for shot in snapshots
+            if name in shot.get("timers", {})
+        ]
+        timers[name] = {
+            "calls": sum(entry["calls"] for entry in entries),
+            "seconds": sum(entry["seconds"] for entry in entries),
+        }
+
+    return {
+        "schema": "repro.obs/1",
+        "merged_from": len(snapshots),
+        "conflicts": sorted(conflicts),
+        "counters": counters,
+        "gauges": gauges,
+        "distributions": distributions,
+        "timers": timers,
+    }

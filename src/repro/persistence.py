@@ -9,96 +9,123 @@ it with sketches recomputed from the (exactly preserved) cell ids under
 the same family, so a reloaded set is bit-for-bit equivalent to the
 original.
 
+Format version 2 additionally records the detector-relevant
+configuration (order, representation, ``vectorized``, threshold, ...)
+alongside the query set: a saved subscription is only meaningful for the
+engine it was built for, and silently loading it into a differently
+configured detector would change which copies are detected. Loading
+therefore fails loudly when the caller's expected configuration differs
+from the recorded one. Version 1 files (no configuration recorded) still
+load; they simply have nothing to check against.
+
 The file embeds a format version; loading a future or corrupted file
 fails loudly instead of mis-detecting quietly.
+
+The payload helpers (:func:`query_set_payload`,
+:func:`query_set_from_mapping`, :func:`detector_config_payload`,
+:func:`detector_config_from_mapping`) are shared with the serving
+layer's :class:`~repro.serve.checkpoint.CheckpointManager`, which embeds
+per-worker query sets and the service configuration in its snapshots.
 """
 
 from __future__ import annotations
 
 import pathlib
-from typing import Union
+from typing import Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.config import CombinationOrder, DetectorConfig, Representation
 from repro.core.query import Query, QuerySet
 from repro.errors import ReproError
 from repro.minhash.family import MinHashFamily
 
-__all__ = ["PersistenceError", "load_query_set", "save_query_set"]
+__all__ = [
+    "CONFIG_FIELDS",
+    "PersistenceError",
+    "detector_config_from_mapping",
+    "detector_config_payload",
+    "load_query_set",
+    "load_recorded_config",
+    "query_set_from_mapping",
+    "query_set_payload",
+    "require_config_match",
+    "save_query_set",
+]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Detector configuration fields recorded alongside a saved query set —
+#: everything that changes which matches the engine reports.
+CONFIG_FIELDS = (
+    "num_hashes",
+    "threshold",
+    "window_seconds",
+    "tempo_scale",
+    "order",
+    "representation",
+    "use_index",
+    "prune",
+    "vectorized",
+)
 
 
 class PersistenceError(ReproError):
     """A query-set file is missing, corrupt or from an unknown version."""
 
 
-def save_query_set(
-    queries: QuerySet, path: Union[str, pathlib.Path]
-) -> None:
-    """Write a query set (and its family parameters) to ``path``.
+# ----------------------------------------------------------------------
+# payload helpers (shared with repro.serve.checkpoint)
+# ----------------------------------------------------------------------
 
-    The ``.npz`` holds, per query: id, label, key-frame count and the
-    distinct cell-id array. Sketch values are *not* stored — they are a
-    pure function of (cell ids, family) and recomputing them on load
-    keeps the file format independent of the sketch layout.
+
+def query_set_payload(
+    queries: QuerySet, prefix: str = ""
+) -> Dict[str, np.ndarray]:
+    """Flatten a query set into npz-storable arrays, keys ``prefix``-ed.
+
+    Sketch values are *not* stored — they are a pure function of
+    (cell ids, family) and recomputing them on load keeps the layout
+    independent of the sketch representation.
     """
-    path = pathlib.Path(path)
     qids = queries.query_ids
-    payload = {
-        "format_version": np.asarray([FORMAT_VERSION]),
-        "family_num_hashes": np.asarray([queries.family.num_hashes]),
-        "family_seed": np.asarray([queries.family.seed]),
-        "family_prime": np.asarray([queries.family.prime]),
-        "qids": np.asarray(qids, dtype=np.int64),
-        "num_frames": np.asarray(
+    payload: Dict[str, np.ndarray] = {
+        f"{prefix}family_num_hashes": np.asarray([queries.family.num_hashes]),
+        f"{prefix}family_seed": np.asarray([queries.family.seed]),
+        f"{prefix}family_prime": np.asarray([queries.family.prime]),
+        f"{prefix}qids": np.asarray(qids, dtype=np.int64),
+        f"{prefix}num_frames": np.asarray(
             [queries.get(qid).num_frames for qid in qids], dtype=np.int64
         ),
-        "labels": np.asarray(
+        f"{prefix}labels": np.asarray(
             [queries.get(qid).label for qid in qids], dtype=object
         ),
     }
     for qid in qids:
-        payload[f"cells_{qid}"] = queries.get(qid).cell_ids
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **payload, allow_pickle=True)
+        payload[f"{prefix}cells_{qid}"] = queries.get(qid).cell_ids
+    return payload
 
 
-def load_query_set(path: Union[str, pathlib.Path]) -> QuerySet:
-    """Restore a query set saved by :func:`save_query_set`.
+def query_set_from_mapping(
+    mapping: Mapping[str, np.ndarray], prefix: str = "", source: str = "payload"
+) -> QuerySet:
+    """Rebuild a query set from :func:`query_set_payload` arrays.
 
-    Raises
-    ------
-    PersistenceError
-        If the file is unreadable, structurally incomplete or written by
-        an unknown format version.
+    ``mapping`` may be an open ``np.load`` archive or a plain dict;
+    ``source`` names it in error messages.
     """
-    path = pathlib.Path(path)
-    if not path.exists():
-        raise PersistenceError(f"no query-set file at {path}")
     try:
-        archive = np.load(path, allow_pickle=True)
-    except Exception as error:  # zipfile/format errors vary by numpy
-        raise PersistenceError(f"cannot read query-set file {path}: {error}")
-
-    try:
-        version = int(archive["format_version"][0])
-        if version != FORMAT_VERSION:
-            raise PersistenceError(
-                f"query-set file {path} has format version {version}; "
-                f"this build reads version {FORMAT_VERSION}"
-            )
         family = MinHashFamily(
-            num_hashes=int(archive["family_num_hashes"][0]),
-            seed=int(archive["family_seed"][0]),
-            prime=int(archive["family_prime"][0]),
+            num_hashes=int(mapping[f"{prefix}family_num_hashes"][0]),
+            seed=int(mapping[f"{prefix}family_seed"][0]),
+            prime=int(mapping[f"{prefix}family_prime"][0]),
         )
-        qids = archive["qids"]
-        num_frames = archive["num_frames"]
-        labels = archive["labels"]
-        queries = []
+        qids = mapping[f"{prefix}qids"]
+        num_frames = mapping[f"{prefix}num_frames"]
+        labels = mapping[f"{prefix}labels"]
+        queries: List[Query] = []
         for position, qid in enumerate(qids):
-            cell_ids = archive[f"cells_{int(qid)}"]
+            cell_ids = mapping[f"{prefix}cells_{int(qid)}"]
             queries.append(
                 Query(
                     qid=int(qid),
@@ -108,10 +135,186 @@ def load_query_set(path: Union[str, pathlib.Path]) -> QuerySet:
                     label=str(labels[position]),
                 )
             )
+    except KeyError as error:
+        raise PersistenceError(f"{source} is missing field {error}")
+    return QuerySet(queries, family)
+
+
+def detector_config_payload(
+    config: DetectorConfig, prefix: str = "config_"
+) -> Dict[str, np.ndarray]:
+    """Flatten the detector-relevant configuration into npz arrays.
+
+    Enum fields are stored by value (their stable string names), the
+    rest as one-element numeric arrays.
+    """
+    payload: Dict[str, np.ndarray] = {}
+    for name in CONFIG_FIELDS:
+        value = getattr(config, name)
+        if isinstance(value, (CombinationOrder, Representation)):
+            payload[f"{prefix}{name}"] = np.asarray([value.value])
+        elif isinstance(value, bool):
+            payload[f"{prefix}{name}"] = np.asarray([int(value)])
+        else:
+            payload[f"{prefix}{name}"] = np.asarray([value])
+    return payload
+
+
+def detector_config_from_mapping(
+    mapping: Mapping[str, np.ndarray], prefix: str = "config_"
+) -> DetectorConfig:
+    """Rebuild a :class:`DetectorConfig` from recorded payload arrays."""
+    try:
+        return DetectorConfig(
+            num_hashes=int(mapping[f"{prefix}num_hashes"][0]),
+            threshold=float(mapping[f"{prefix}threshold"][0]),
+            window_seconds=float(mapping[f"{prefix}window_seconds"][0]),
+            tempo_scale=float(mapping[f"{prefix}tempo_scale"][0]),
+            order=CombinationOrder(str(mapping[f"{prefix}order"][0])),
+            representation=Representation(
+                str(mapping[f"{prefix}representation"][0])
+            ),
+            use_index=bool(int(mapping[f"{prefix}use_index"][0])),
+            prune=bool(int(mapping[f"{prefix}prune"][0])),
+            vectorized=bool(int(mapping[f"{prefix}vectorized"][0])),
+        )
+    except KeyError as error:
+        raise PersistenceError(f"recorded config is missing field {error}")
+
+
+def require_config_match(
+    recorded: DetectorConfig, expected: DetectorConfig, source: str = "file"
+) -> None:
+    """Fail loudly when a recorded config differs from the caller's.
+
+    Raises
+    ------
+    PersistenceError
+        Listing every differing field with both values.
+    """
+    differing = []
+    for name in CONFIG_FIELDS:
+        have = getattr(recorded, name)
+        want = getattr(expected, name)
+        if have != want:
+            have_repr = have.value if hasattr(have, "value") else have
+            want_repr = want.value if hasattr(want, "value") else want
+            differing.append(f"{name}: recorded={have_repr} expected={want_repr}")
+    if differing:
+        raise PersistenceError(
+            f"{source} was saved under a different detector "
+            f"configuration — " + "; ".join(differing)
+        )
+
+
+# ----------------------------------------------------------------------
+# query-set files
+# ----------------------------------------------------------------------
+
+
+def save_query_set(
+    queries: QuerySet,
+    path: Union[str, pathlib.Path],
+    config: Optional[DetectorConfig] = None,
+) -> None:
+    """Write a query set (and its family parameters) to ``path``.
+
+    The ``.npz`` holds, per query: id, label, key-frame count and the
+    distinct cell-id array, plus — when ``config`` is given — the
+    detector configuration the subscription was built for, checked on
+    load (see :func:`load_query_set`).
+    """
+    path = pathlib.Path(path)
+    payload = {
+        "format_version": np.asarray([FORMAT_VERSION]),
+        **query_set_payload(queries),
+    }
+    if config is not None:
+        payload.update(detector_config_payload(config))
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload, allow_pickle=True)
+
+
+def _open_archive(path: pathlib.Path):
+    if not path.exists():
+        raise PersistenceError(f"no query-set file at {path}")
+    try:
+        return np.load(path, allow_pickle=True)
+    except Exception as error:  # zipfile/format errors vary by numpy
+        raise PersistenceError(f"cannot read query-set file {path}: {error}")
+
+
+def _read_version(archive, path: pathlib.Path) -> int:
+    try:
+        version = int(archive["format_version"][0])
+    except KeyError as error:
+        raise PersistenceError(
+            f"query-set file {path} is missing field {error}"
+        )
+    if version not in (1, FORMAT_VERSION):
+        raise PersistenceError(
+            f"query-set file {path} has format version {version}; "
+            f"this build reads versions 1 and {FORMAT_VERSION}"
+        )
+    return version
+
+
+def load_recorded_config(
+    path: Union[str, pathlib.Path]
+) -> Optional[DetectorConfig]:
+    """The detector configuration recorded in a query-set file.
+
+    ``None`` for version 1 files and version 2 files saved without one.
+    """
+    path = pathlib.Path(path)
+    archive = _open_archive(path)
+    version = _read_version(archive, path)
+    if version < 2 or "config_num_hashes" not in archive:
+        return None
+    return detector_config_from_mapping(archive)
+
+
+def load_query_set(
+    path: Union[str, pathlib.Path],
+    expected_config: Optional[DetectorConfig] = None,
+) -> QuerySet:
+    """Restore a query set saved by :func:`save_query_set`.
+
+    Parameters
+    ----------
+    expected_config:
+        The configuration the caller intends to run the queries under.
+        When given and the file records one (format version 2), every
+        differing field raises :class:`PersistenceError` — a saved
+        subscription silently loaded into a different engine would
+        change detection results. Version 1 files recorded nothing, so
+        there is nothing to check.
+
+    Raises
+    ------
+    PersistenceError
+        If the file is unreadable, structurally incomplete, written by
+        an unknown format version, or recorded under a configuration
+        that differs from ``expected_config``.
+    """
+    path = pathlib.Path(path)
+    archive = _open_archive(path)
+    try:
+        version = _read_version(archive, path)
+        if expected_config is not None and version >= 2:
+            if "config_num_hashes" in archive:
+                require_config_match(
+                    detector_config_from_mapping(archive),
+                    expected_config,
+                    source=f"query-set file {path}",
+                )
+        queries = query_set_from_mapping(
+            archive, source=f"query-set file {path}"
+        )
     except PersistenceError:
         raise
     except KeyError as error:
         raise PersistenceError(
             f"query-set file {path} is missing field {error}"
         )
-    return QuerySet(queries, family)
+    return queries

@@ -1,0 +1,60 @@
+"""Sharded multi-worker serving of the streaming copy detector.
+
+The single-process :class:`~repro.core.detector.StreamingDetector`
+scales with the number of subscribed queries; this package scales it
+*out*: the query set is partitioned into balanced shards
+(:mod:`~repro.serve.planner`), each shard runs a complete detector in
+its own worker (serial, thread or process backend) fed an identical
+copy of the stream over bounded queues (:mod:`~repro.serve.queues`),
+and the per-shard match streams merge back into the single-process
+engine's canonical order (:mod:`~repro.serve.collector`). The merged
+output under the blocking backpressure policy is bit-for-bit the
+single-process detector's — same matches, same order, and per-shard
+counters that sum (or replicate, for stream-scoped ones) to the serial
+values.
+
+:class:`~repro.serve.service.DetectionService` is the façade;
+:class:`~repro.serve.checkpoint.CheckpointManager` snapshots a running
+service to one atomic ``.npz`` and restores it mid-stream with zero
+match loss. ``repro serve`` exposes the whole stack on the command
+line. See ``docs/serving.md`` for the architecture.
+"""
+
+from repro.serve.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointManager,
+    ServiceCheckpoint,
+)
+from repro.serve.collector import MatchCollector, canonical_sort_key
+from repro.serve.planner import ShardPlan, ShardPlanner
+from repro.serve.queues import (
+    BackpressurePolicy,
+    BoundedChannel,
+    PutOutcome,
+    put_with_policy,
+    queue_depth,
+)
+from repro.serve.service import BACKENDS, DetectionService
+from repro.serve.state import restore_worker_state, worker_state
+from repro.serve.workers import ShardWorker, WorkerSpec
+
+__all__ = [
+    "BACKENDS",
+    "BackpressurePolicy",
+    "BoundedChannel",
+    "CHECKPOINT_FORMAT",
+    "CheckpointManager",
+    "DetectionService",
+    "MatchCollector",
+    "PutOutcome",
+    "ServiceCheckpoint",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardWorker",
+    "WorkerSpec",
+    "canonical_sort_key",
+    "put_with_policy",
+    "queue_depth",
+    "restore_worker_state",
+    "worker_state",
+]

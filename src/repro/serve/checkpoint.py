@@ -1,0 +1,296 @@
+"""Checkpointing a sharded detection service to disk.
+
+A service snapshot must let a *new process* — with no memory of the old
+one — rebuild the exact same service and continue the stream where it
+stopped, losing zero matches. One ``.npz`` file therefore carries
+everything: a format tag, the detector configuration (checked on
+restore, like :mod:`repro.persistence` does for query-set files), the
+stream position (chunks ingested), each worker's query subset and
+flattened detector state (from :mod:`repro.serve.state`), and the
+matches the collector has already merged — so the resumed service's
+cumulative match stream equals an uninterrupted run's.
+
+Writes are atomic: the payload is written to a temporary sibling and
+``os.replace``-d into place, so a crash mid-write leaves the previous
+checkpoint intact rather than a truncated archive.
+
+File naming: :class:`CheckpointManager` owns a directory and names each
+snapshot ``ckpt-<chunks_ingested>.npz``; :meth:`CheckpointManager.latest`
+returns the newest by stream position. A bare path also works for
+one-shot save/load.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.config import DetectorConfig
+from repro.core.query import QuerySet
+from repro.core.results import Match
+from repro.errors import ServeError
+from repro.persistence import (
+    PersistenceError,
+    detector_config_from_mapping,
+    detector_config_payload,
+    query_set_from_mapping,
+    query_set_payload,
+    require_config_match,
+)
+
+__all__ = ["CHECKPOINT_FORMAT", "CheckpointManager", "ServiceCheckpoint"]
+
+#: Format tag embedded in every checkpoint archive. Bump the suffix when
+#: the layout changes incompatibly; loading rejects unknown tags.
+CHECKPOINT_FORMAT = "repro.ckpt/1"
+
+_CKPT_NAME = re.compile(r"^ckpt-(\d+)\.npz$")
+
+
+@dataclass
+class ServiceCheckpoint:
+    """Everything needed to rebuild a service mid-stream.
+
+    Attributes
+    ----------
+    config:
+        The detector configuration every worker runs.
+    keyframes_per_second:
+        Stream cadence the workers were constructed with.
+    chunks_ingested:
+        How many chunks the service had fully processed; the resuming
+        caller re-feeds the stream from this offset.
+    cap_hint:
+        The global candidate-expiry floor in force at snapshot time.
+    strategy:
+        The shard-planning strategy (recorded for bookkeeping; the
+        restored service reuses the recorded per-worker query subsets
+        directly rather than re-planning).
+    worker_queries:
+        Per-worker query subsets, in worker order.
+    worker_states:
+        Per-worker flattened detector state
+        (:func:`repro.serve.state.worker_state` dicts), in worker order.
+    matches:
+        The merged match stream collected before the snapshot.
+    """
+
+    config: DetectorConfig
+    keyframes_per_second: float
+    chunks_ingested: int
+    cap_hint: int
+    strategy: str
+    worker_queries: List[QuerySet]
+    worker_states: List[Dict[str, np.ndarray]]
+    matches: List[Match]
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.worker_states)
+
+
+def _matches_payload(matches: List[Match]) -> Dict[str, np.ndarray]:
+    return {
+        "matches_qid": np.asarray([m.qid for m in matches], dtype=np.int64),
+        "matches_window": np.asarray(
+            [m.window_index for m in matches], dtype=np.int64
+        ),
+        "matches_start": np.asarray(
+            [m.start_frame for m in matches], dtype=np.int64
+        ),
+        "matches_end": np.asarray(
+            [m.end_frame for m in matches], dtype=np.int64
+        ),
+        "matches_similarity": np.asarray(
+            [m.similarity for m in matches], dtype=np.float64
+        ),
+    }
+
+
+def _matches_from_mapping(mapping) -> List[Match]:
+    return [
+        Match(
+            qid=int(qid),
+            window_index=int(window),
+            start_frame=int(start),
+            end_frame=int(end),
+            similarity=float(similarity),
+        )
+        for qid, window, start, end, similarity in zip(
+            mapping["matches_qid"],
+            mapping["matches_window"],
+            mapping["matches_start"],
+            mapping["matches_end"],
+            mapping["matches_similarity"],
+        )
+    ]
+
+
+class CheckpointManager:
+    """Saves and restores :class:`ServiceCheckpoint` archives.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshots live. Created on first save if missing.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.directory = pathlib.Path(directory)
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, chunks_ingested: int) -> pathlib.Path:
+        """The canonical file name for a snapshot at a stream position."""
+        return self.directory / f"ckpt-{int(chunks_ingested):010d}.npz"
+
+    def latest(self) -> Optional[pathlib.Path]:
+        """The snapshot with the highest stream position, if any."""
+        if not self.directory.is_dir():
+            return None
+        best: Optional[pathlib.Path] = None
+        best_position = -1
+        for entry in self.directory.iterdir():
+            parsed = _CKPT_NAME.match(entry.name)
+            if parsed and int(parsed.group(1)) > best_position:
+                best_position = int(parsed.group(1))
+                best = entry
+        return best
+
+    # -- save ----------------------------------------------------------
+
+    def save(
+        self,
+        checkpoint: ServiceCheckpoint,
+        path: Union[str, pathlib.Path, None] = None,
+    ) -> pathlib.Path:
+        """Atomically write ``checkpoint``; returns the final path."""
+        if path is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.path_for(checkpoint.chunks_ingested)
+        path = pathlib.Path(path)
+        fmt = np.empty(1, dtype=object)
+        fmt[0] = CHECKPOINT_FORMAT
+        payload: Dict[str, np.ndarray] = {
+            "format": fmt,
+            "num_workers": np.asarray([checkpoint.num_workers]),
+            "chunks_ingested": np.asarray([checkpoint.chunks_ingested]),
+            "cap_hint": np.asarray([checkpoint.cap_hint]),
+            "keyframes_per_second": np.asarray(
+                [checkpoint.keyframes_per_second], dtype=np.float64
+            ),
+            "strategy": np.asarray([checkpoint.strategy], dtype=object),
+            **detector_config_payload(checkpoint.config),
+            **_matches_payload(checkpoint.matches),
+        }
+        if len(checkpoint.worker_queries) != checkpoint.num_workers:
+            raise ServeError(
+                "checkpoint has "
+                f"{len(checkpoint.worker_queries)} query subsets for "
+                f"{checkpoint.num_workers} worker states"
+            )
+        for index, (queries, state) in enumerate(
+            zip(checkpoint.worker_queries, checkpoint.worker_states)
+        ):
+            payload.update(query_set_payload(queries, prefix=f"w{index}_qs_"))
+            for key, value in state.items():
+                payload[f"w{index}_{key}"] = value
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **payload, allow_pickle=True)
+        os.replace(tmp, path)
+        return path
+
+    # -- load ----------------------------------------------------------
+
+    def load(
+        self,
+        path: Union[str, pathlib.Path, None] = None,
+        expected_config: Optional[DetectorConfig] = None,
+    ) -> ServiceCheckpoint:
+        """Read a snapshot (the latest one when ``path`` is omitted).
+
+        Raises
+        ------
+        PersistenceError
+            If no snapshot exists, the archive is unreadable or carries
+            an unknown format tag, or ``expected_config`` differs from
+            the recorded configuration (every differing field listed).
+        """
+        if path is None:
+            path = self.latest()
+            if path is None:
+                raise PersistenceError(
+                    f"no checkpoint found in {self.directory}"
+                )
+        path = pathlib.Path(path)
+        if not path.exists():
+            raise PersistenceError(f"no checkpoint file at {path}")
+        try:
+            archive = np.load(path, allow_pickle=True)
+        except Exception as error:  # zipfile/format errors vary by numpy
+            raise PersistenceError(
+                f"cannot read checkpoint file {path}: {error}"
+            )
+        try:
+            fmt = str(archive["format"][0])
+        except KeyError as error:
+            raise PersistenceError(
+                f"checkpoint file {path} is missing field {error}"
+            )
+        if fmt != CHECKPOINT_FORMAT:
+            raise PersistenceError(
+                f"checkpoint file {path} has format {fmt!r}; this build "
+                f"reads {CHECKPOINT_FORMAT!r}"
+            )
+        try:
+            config = detector_config_from_mapping(archive)
+            if expected_config is not None:
+                require_config_match(
+                    config, expected_config, source=f"checkpoint {path}"
+                )
+            num_workers = int(archive["num_workers"][0])
+            worker_queries = []
+            worker_states: List[Dict[str, np.ndarray]] = []
+            for index in range(num_workers):
+                worker_queries.append(
+                    query_set_from_mapping(
+                        archive,
+                        prefix=f"w{index}_qs_",
+                        source=f"checkpoint {path}",
+                    )
+                )
+                prefix = f"w{index}_"
+                skip = f"w{index}_qs_"
+                worker_states.append(
+                    {
+                        key[len(prefix):]: archive[key]
+                        for key in archive.files
+                        if key.startswith(prefix)
+                        and not key.startswith(skip)
+                    }
+                )
+            checkpoint = ServiceCheckpoint(
+                config=config,
+                keyframes_per_second=float(
+                    archive["keyframes_per_second"][0]
+                ),
+                chunks_ingested=int(archive["chunks_ingested"][0]),
+                cap_hint=int(archive["cap_hint"][0]),
+                strategy=str(archive["strategy"][0]),
+                worker_queries=worker_queries,
+                worker_states=worker_states,
+                matches=_matches_from_mapping(archive),
+            )
+        except PersistenceError:
+            raise
+        except KeyError as error:
+            raise PersistenceError(
+                f"checkpoint file {path} is missing field {error}"
+            )
+        return checkpoint

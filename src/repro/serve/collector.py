@@ -1,0 +1,79 @@
+"""Merging per-shard match streams back into one ordered stream.
+
+Each worker emits the matches of *its* queries in the single-process
+engine's emission order; qids across shards interleave arbitrarily. The
+collector restores the canonical order of the columnar engines, which is
+a pure function of the match coordinates:
+
+* **Sequential** order emits, per window, candidates by ascending
+  ``start_frame`` (the columnar store appends in arrival order and the
+  fresh length-1 candidate — the largest start — last), ties by
+  ascending qid (column order).
+* **Geometric** order emits, per window, the just-arrived window first
+  and then the ladder's suffix accumulations newest-first — strictly
+  *descending* ``start_frame`` — ties by ascending qid.
+
+``(window_index, start_frame, qid)`` uniquely identifies a match (an
+engine scores each candidate/query pair at most once per window), so
+sorting the merged per-chunk batch by the canonical key reproduces the
+single-process stream bit-for-bit for the columnar engines. The scalar
+reference engines iterate Python sets when scoring, so their *intra-
+window* emission order is unspecified; the equivalence suite compares
+them after canonical sorting (see ``docs/serving.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.config import CombinationOrder
+from repro.core.results import Match
+
+__all__ = ["MatchCollector", "canonical_sort_key"]
+
+
+def canonical_sort_key(
+    order: CombinationOrder,
+) -> Callable[[Match], Tuple[int, int, int]]:
+    """The engine order's deterministic match sort key."""
+    if order is CombinationOrder.SEQUENTIAL:
+        return lambda match: (
+            match.window_index,
+            match.start_frame,
+            match.qid,
+        )
+    return lambda match: (
+        match.window_index,
+        -match.start_frame,
+        match.qid,
+    )
+
+
+class MatchCollector:
+    """Accumulates the merged, canonically ordered match stream.
+
+    The service calls :meth:`merge` once per chunk (or control barrier)
+    with every shard's batch for that span of the stream; batches from
+    different chunks must not be interleaved — chunk boundaries are the
+    merge barriers that keep the global stream ordered.
+    """
+
+    def __init__(self, order: CombinationOrder) -> None:
+        self.order = order
+        self._key = canonical_sort_key(order)
+        self.matches: List[Match] = []
+
+    def merge(self, batches: Sequence[List[Match]]) -> List[Match]:
+        """Merge one chunk's per-shard batches; return them in order."""
+        merged = sorted(
+            (match for batch in batches for match in batch), key=self._key
+        )
+        self.matches.extend(merged)
+        return merged
+
+    def restore(self, matches: Sequence[Match]) -> None:
+        """Reinstate a previously collected stream (checkpoint resume)."""
+        self.matches = list(matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)

@@ -1,0 +1,661 @@
+"""The sharded detection service: plan, broadcast, merge, checkpoint.
+
+:class:`DetectionService` runs the paper's detector over a query set
+partitioned across N workers. Every worker receives an identical copy of
+the stream (chunks of key-frame cell ids); each detects only its shard's
+queries; the service merges the per-shard match streams back into the
+single-process engine's canonical order (:mod:`repro.serve.collector`).
+
+Three executor backends share one worker implementation and protocol
+(:mod:`repro.serve.workers`):
+
+* ``serial`` — workers are plain objects called in-process, in shard
+  order. Deterministic and dependency-free; the reference backend for
+  the equivalence suite.
+* ``thread`` — one thread per worker fed through a
+  :class:`~repro.serve.queues.BoundedChannel`.
+* ``process`` — one OS process per worker over ``multiprocessing``
+  queues (fork start method where available, so query sketches are
+  inherited rather than re-pickled).
+
+**Equivalence invariant.** A query's matches depend only on its own
+sketch/signature state *except* for candidate expiry, which uses the
+global ``max(ceil(λL/w))`` over every subscribed query. The service
+therefore computes that global cap and broadcasts it to every worker as
+a ``cap_hint`` — at construction and again after every subscribe or
+unsubscribe — ordered with the chunk stream (control messages only ever
+travel at chunk barriers). Under the ``block`` backpressure policy the
+merged output is then bit-for-bit the single-process detector's; the
+lossy policies (``drop_oldest``, ``shed``) trade that guarantee for
+bounded ingestion and are fully accounted in the ``serve.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import queue as queue_module
+import threading
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.config import DetectorConfig
+from repro.core.query import Query, QuerySet
+from repro.core.results import Match
+from repro.errors import ServeError
+from repro.obs.export import snapshot
+from repro.obs.merge import merge_snapshots
+from repro.obs.registry import MetricsRegistry
+from repro.serve.checkpoint import CheckpointManager, ServiceCheckpoint
+from repro.serve.collector import MatchCollector
+from repro.serve.planner import ShardPlanner
+from repro.serve.queues import (
+    BackpressurePolicy,
+    BoundedChannel,
+    PutOutcome,
+    put_with_policy,
+    queue_depth,
+)
+from repro.serve.workers import ShardWorker, WorkerSpec, _worker_loop
+
+__all__ = ["BACKENDS", "DetectionService"]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+class _SerialExecutor:
+    """In-process workers; replies buffered to keep the protocol uniform."""
+
+    def __init__(self, specs: List[WorkerSpec]) -> None:
+        self.workers = [ShardWorker(spec) for spec in specs]
+        self._replies: List[List[Tuple]] = [[] for _ in specs]
+
+    def send(
+        self, worker_id: int, message: Tuple, policy: BackpressurePolicy
+    ) -> PutOutcome:
+        reply = self.workers[worker_id].handle(message)
+        self._replies[worker_id].append(reply)
+        return PutOutcome(delivered=True)
+
+    def recv(self, worker_id: int) -> Tuple:
+        return self._replies[worker_id].pop(0)
+
+    def depth(self, worker_id: int) -> Optional[int]:
+        return 0
+
+    def join(self) -> None:
+        pass
+
+
+class _ThreadExecutor:
+    """One thread per worker over policy-aware bounded channels."""
+
+    def __init__(self, specs: List[WorkerSpec], capacity: int) -> None:
+        self.inboxes = [BoundedChannel(capacity) for _ in specs]
+        self.outboxes: List[queue_module.Queue] = [
+            queue_module.Queue() for _ in specs
+        ]
+        self.threads = [
+            threading.Thread(
+                target=_worker_loop,
+                args=(spec, inbox, outbox),
+                name=f"repro-serve-w{spec.worker_id}",
+                daemon=True,
+            )
+            for spec, inbox, outbox in zip(specs, self.inboxes, self.outboxes)
+        ]
+        for thread in self.threads:
+            thread.start()
+
+    def send(
+        self, worker_id: int, message: Tuple, policy: BackpressurePolicy
+    ) -> PutOutcome:
+        return self.inboxes[worker_id].put(message, policy)
+
+    def recv(self, worker_id: int) -> Tuple:
+        return self.outboxes[worker_id].get()
+
+    def depth(self, worker_id: int) -> Optional[int]:
+        return queue_depth(self.inboxes[worker_id])
+
+    def join(self) -> None:
+        for thread in self.threads:
+            thread.join(timeout=10.0)
+
+
+class _ProcessExecutor:
+    """One OS process per worker over multiprocessing queues."""
+
+    def __init__(self, specs: List[WorkerSpec], capacity: int) -> None:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        self.inboxes = [context.Queue(capacity) for _ in specs]
+        self.outboxes = [context.Queue() for _ in specs]
+        self.processes = [
+            context.Process(
+                target=_worker_loop,
+                args=(spec, inbox, outbox),
+                name=f"repro-serve-w{spec.worker_id}",
+                daemon=True,
+            )
+            for spec, inbox, outbox in zip(specs, self.inboxes, self.outboxes)
+        ]
+        for process in self.processes:
+            process.start()
+
+    def send(
+        self, worker_id: int, message: Tuple, policy: BackpressurePolicy
+    ) -> PutOutcome:
+        return put_with_policy(self.inboxes[worker_id], message, policy)
+
+    def recv(self, worker_id: int) -> Tuple:
+        return self.outboxes[worker_id].get()
+
+    def depth(self, worker_id: int) -> Optional[int]:
+        return queue_depth(self.inboxes[worker_id])
+
+    def join(self) -> None:
+        for process in self.processes:
+            process.join(timeout=10.0)
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+
+
+class DetectionService:
+    """A query-sharded, multi-worker streaming copy detector.
+
+    Parameters
+    ----------
+    config:
+        Detector configuration shared by every worker.
+    queries:
+        The full subscription set; the planner partitions it.
+    keyframes_per_second:
+        Stream cadence.
+    num_workers:
+        Requested shard count (clamped to the number of queries).
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    strategy:
+        Shard-planning strategy (``"count"`` or ``"load"``).
+    queue_capacity:
+        Bound on each worker's ingestion queue (thread/process).
+    policy:
+        Backpressure policy for *chunk* messages; control messages
+        always block. Only ``BLOCK`` preserves exact single-process
+        equivalence.
+    registry:
+        Optional service-level registry for the ``serve.*`` metrics.
+    timing_enabled:
+        Whether worker registries record phase wall-clock.
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        queries: QuerySet,
+        keyframes_per_second: float,
+        *,
+        num_workers: int = 2,
+        backend: str = "serial",
+        strategy: str = "load",
+        queue_capacity: int = 4,
+        policy: BackpressurePolicy = BackpressurePolicy.BLOCK,
+        registry: Optional[MetricsRegistry] = None,
+        timing_enabled: bool = True,
+        _checkpoint: Optional[ServiceCheckpoint] = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ServeError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.config = config
+        self.keyframes_per_second = float(keyframes_per_second)
+        self.backend = backend
+        self.policy = policy
+        self.strategy = strategy
+        self.window_frames = max(
+            1, round(config.window_seconds * keyframes_per_second)
+        )
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self.collector = MatchCollector(config.order)
+        self.chunks_ingested = 0
+        self._flushed = False
+        self._closed = False
+
+        if _checkpoint is None:
+            plan = ShardPlanner(num_workers, strategy).plan(
+                queries, self.window_frames, config.tempo_scale
+            )
+            shard_queries = [
+                QuerySet(
+                    [queries.get(qid) for qid in shard], queries.family
+                )
+                for shard in plan.shards
+            ]
+            states: List[Optional[Dict[str, np.ndarray]]] = [None] * len(
+                shard_queries
+            )
+        else:
+            shard_queries = list(_checkpoint.worker_queries)
+            states = list(_checkpoint.worker_states)
+            self.chunks_ingested = _checkpoint.chunks_ingested
+            self.collector.restore(_checkpoint.matches)
+
+        self._shard_qids: List[Set[int]] = [
+            set(qs.query_ids) for qs in shard_queries
+        ]
+        self._family = shard_queries[0].family
+        self._queries: Dict[int, Query] = {
+            qid: shard.get(qid)
+            for shard in shard_queries
+            for qid in shard.query_ids
+        }
+        self._caps: Dict[int, int] = {}
+        for shard in shard_queries:
+            self._caps.update(
+                shard.max_windows_map(self.window_frames, config.tempo_scale)
+            )
+        self.cap_hint = max(self._caps.values())
+        if _checkpoint is not None and _checkpoint.cap_hint > self.cap_hint:
+            # A previously subscribed (since dropped) query raised the
+            # horizon; keep it so restored candidate ages stay legal.
+            self.cap_hint = _checkpoint.cap_hint
+
+        specs = [
+            WorkerSpec(
+                worker_id=index,
+                config=config,
+                queries=shard,
+                keyframes_per_second=self.keyframes_per_second,
+                cap_hint=self.cap_hint,
+                timing_enabled=timing_enabled,
+                state=states[index],
+            )
+            for index, shard in enumerate(shard_queries)
+        ]
+        if backend == "serial":
+            self._executor = _SerialExecutor(specs)
+        elif backend == "thread":
+            self._executor = _ThreadExecutor(specs, queue_capacity)
+        else:
+            self._executor = _ProcessExecutor(specs, queue_capacity)
+        self.num_workers = len(specs)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        source: Union[str, pathlib.Path, CheckpointManager, ServiceCheckpoint],
+        *,
+        expected_config: Optional[DetectorConfig] = None,
+        backend: str = "serial",
+        queue_capacity: int = 4,
+        policy: BackpressurePolicy = BackpressurePolicy.BLOCK,
+        registry: Optional[MetricsRegistry] = None,
+        timing_enabled: bool = True,
+    ) -> "DetectionService":
+        """Rebuild a service from a checkpoint and continue mid-stream.
+
+        ``source`` may be a :class:`ServiceCheckpoint`, a checkpoint
+        file path, or a :class:`CheckpointManager` (whose latest
+        snapshot is used). The resumed service keeps the recorded shard
+        assignment, counters, candidate state and collected matches:
+        re-feeding the stream from ``chunks_ingested`` yields exactly
+        the match stream an uninterrupted run would have produced.
+        """
+        if isinstance(source, ServiceCheckpoint):
+            checkpoint = source
+        elif isinstance(source, CheckpointManager):
+            checkpoint = source.load(expected_config=expected_config)
+        else:
+            path = pathlib.Path(source)
+            manager = CheckpointManager(path.parent)
+            checkpoint = manager.load(path, expected_config=expected_config)
+        merged: List[Query] = []
+        for shard in checkpoint.worker_queries:
+            merged.extend(shard.get(qid) for qid in shard.query_ids)
+        union = QuerySet(merged, checkpoint.worker_queries[0].family)
+        return cls(
+            checkpoint.config,
+            union,
+            checkpoint.keyframes_per_second,
+            num_workers=checkpoint.num_workers,
+            backend=backend,
+            strategy=checkpoint.strategy,
+            queue_capacity=queue_capacity,
+            policy=policy,
+            registry=registry,
+            timing_enabled=timing_enabled,
+            _checkpoint=checkpoint,
+        )
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServeError("the service has been closed")
+
+    def _expect(self, worker_id: int, *kinds: str) -> Tuple:
+        reply = self._executor.recv(worker_id)
+        if reply[0] == "error":
+            raise ServeError(f"worker {reply[1]} failed: {reply[2]}")
+        if reply[0] not in kinds:
+            raise ServeError(
+                f"worker {worker_id} replied {reply[0]!r}, "
+                f"expected one of {kinds}"
+            )
+        return reply
+
+    def _control(self, message: Tuple) -> None:
+        """Broadcast a control message and await every acknowledgement."""
+        for worker_id in range(self.num_workers):
+            self._executor.send(
+                worker_id, message, BackpressurePolicy.BLOCK
+            )
+        for worker_id in range(self.num_workers):
+            self._expect(worker_id, "ok")
+
+    def _account(self, worker_id: int, outcome: PutOutcome) -> List[int]:
+        """Record one chunk put's metrics; return stolen chunk seqs."""
+        registry = self.registry
+        if outcome.delivered:
+            registry.inc(f"serve.chunks_delivered.w{worker_id}")
+        else:
+            registry.inc(f"serve.chunks_shed.w{worker_id}")
+        if outcome.blocked_seconds:
+            registry.inc(f"serve.backpressure_blocks.w{worker_id}")
+            timer = registry.timer(f"serve.blocked.w{worker_id}")
+            timer.calls += 1
+            timer.seconds += outcome.blocked_seconds
+        stolen = []
+        for item in outcome.dropped:
+            if isinstance(item, tuple) and item and item[0] == "chunk":
+                registry.inc(f"serve.chunks_dropped.w{worker_id}")
+                stolen.append(item[1])
+        depth = self._executor.depth(worker_id)
+        if depth is not None:
+            registry.set_gauge(f"serve.queue_depth.w{worker_id}", depth)
+        return stolen
+
+    # ------------------------------------------------------------------
+    # stream ingestion
+    # ------------------------------------------------------------------
+
+    def process_chunk(self, cell_ids: np.ndarray) -> List[Match]:
+        """Feed one chunk to every worker; return its merged matches.
+
+        Lock-step: broadcasts the chunk, waits for every shard's batch,
+        merges into canonical order. Use :meth:`run` for pipelined
+        ingestion of many chunks.
+        """
+        return self.run([cell_ids], flush=False)
+
+    def run(
+        self,
+        chunks: Sequence[np.ndarray],
+        flush: bool = True,
+    ) -> List[Match]:
+        """Pipelined ingestion of a chunk sequence.
+
+        Chunks are broadcast as fast as the backpressure policy admits
+        (workers run up to ``queue_capacity`` chunks behind the
+        producer); replies are then drained and merged chunk-by-chunk,
+        so the returned stream — and :attr:`matches` — is in canonical
+        single-process order. With ``flush=True`` the final partial
+        window is processed too and the stream is closed.
+        """
+        self._require_open()
+        if self._flushed:
+            raise ServeError("the stream has already been flushed")
+        chunk_arrays = [
+            np.asarray(chunk, dtype=np.int64) for chunk in chunks
+        ]
+        outstanding: List[Set[int]] = [
+            set() for _ in range(self.num_workers)
+        ]
+        for seq, chunk in enumerate(chunk_arrays):
+            message = ("chunk", seq, chunk)
+            for worker_id in range(self.num_workers):
+                outcome = self._executor.send(
+                    worker_id, message, self.policy
+                )
+                if outcome.delivered:
+                    outstanding[worker_id].add(seq)
+                for stolen_seq in self._account(worker_id, outcome):
+                    outstanding[worker_id].discard(stolen_seq)
+            self.registry.inc("serve.chunks_ingested")
+        results: List[Dict[int, List[Match]]] = [
+            {} for _ in range(self.num_workers)
+        ]
+        for worker_id in range(self.num_workers):
+            for _ in range(len(outstanding[worker_id])):
+                reply = self._expect(worker_id, "matches")
+                results[worker_id][reply[2]] = reply[3]
+        merged: List[Match] = []
+        for seq in range(len(chunk_arrays)):
+            merged.extend(
+                self.collector.merge(
+                    [results[w].get(seq, []) for w in range(self.num_workers)]
+                )
+            )
+        self.chunks_ingested += len(chunk_arrays)
+        if flush:
+            merged.extend(self.flush())
+        return merged
+
+    def flush(self) -> List[Match]:
+        """Process the final partial window in every shard; merge it."""
+        self._require_open()
+        if self._flushed:
+            return []
+        for worker_id in range(self.num_workers):
+            self._executor.send(
+                worker_id, ("flush",), BackpressurePolicy.BLOCK
+            )
+        batches = []
+        for worker_id in range(self.num_workers):
+            batches.append(self._expect(worker_id, "flushed")[2])
+        self._flushed = True
+        return self.collector.merge(batches)
+
+    @property
+    def matches(self) -> List[Match]:
+        """The full merged match stream collected so far."""
+        return self.collector.matches
+
+    # ------------------------------------------------------------------
+    # subscription churn
+    # ------------------------------------------------------------------
+
+    def shard_of(self, qid: int) -> int:
+        """The worker currently detecting query ``qid``."""
+        for worker_id, qids in enumerate(self._shard_qids):
+            if qid in qids:
+                return worker_id
+        raise ServeError(f"query {qid} is not subscribed")
+
+    def shard_sizes(self) -> List[int]:
+        """Current per-worker query counts."""
+        return [len(qids) for qids in self._shard_qids]
+
+    def subscribe(self, query: Query) -> None:
+        """Add a query mid-stream, to the least-loaded shard.
+
+        Broadcasts the updated global cap hint to *every* worker so
+        candidate expiry stays globally consistent (the equivalence
+        invariant) before any further chunk is ingested.
+        """
+        self._require_open()
+        for qids in self._shard_qids:
+            if query.qid in qids:
+                raise ServeError(f"query {query.qid} is already subscribed")
+        cap = query.max_candidate_windows(
+            self.window_frames, self.config.tempo_scale
+        )
+        weights = (
+            {qid: 1 for qid in self._caps}
+            if self.strategy == "count"
+            else self._caps
+        )
+        loads = [
+            sum(weights[qid] for qid in qids) for qids in self._shard_qids
+        ]
+        target = min(range(self.num_workers), key=lambda i: (loads[i], i))
+        self._executor.send(
+            target, ("subscribe", query), BackpressurePolicy.BLOCK
+        )
+        self._expect(target, "ok")
+        self._shard_qids[target].add(query.qid)
+        self._queries[query.qid] = query
+        self._caps[query.qid] = cap
+        self._rebroadcast_cap_hint()
+
+    def unsubscribe(self, qid: int) -> None:
+        """Drop a query mid-stream; rebroadcasts the global cap hint."""
+        self._require_open()
+        worker_id = self.shard_of(qid)
+        if len(self._shard_qids[worker_id]) < 2:
+            raise ServeError(
+                f"cannot unsubscribe query {qid}: it is the last query "
+                f"of shard {worker_id} (a worker cannot run empty; "
+                "subscribe a replacement first)"
+            )
+        self._executor.send(
+            worker_id, ("unsubscribe", qid), BackpressurePolicy.BLOCK
+        )
+        self._expect(worker_id, "ok")
+        self._shard_qids[worker_id].discard(qid)
+        del self._queries[qid]
+        del self._caps[qid]
+        self._rebroadcast_cap_hint()
+
+    def _rebroadcast_cap_hint(self) -> None:
+        self.cap_hint = max(self._caps.values())
+        self._control(("cap_hint", self.cap_hint))
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Aggregated cross-worker metrics (``repro.obs/1`` + merge).
+
+        Worker snapshots are merged under the replicated/additive
+        counter semantics of :func:`repro.obs.merge.merge_snapshots`;
+        the service's own ``serve.*`` metrics ride along (their names
+        are unique, so they pass through). A ``serve`` section reports
+        topology: backend, policy, shard membership, stream position.
+        """
+        self._require_open()
+        snapshots = []
+        for worker_id in range(self.num_workers):
+            self._executor.send(
+                worker_id, ("snapshot",), BackpressurePolicy.BLOCK
+            )
+        for worker_id in range(self.num_workers):
+            snapshots.append(self._expect(worker_id, "snapshot")[2])
+        snapshots.append(snapshot(self.registry))
+        merged = merge_snapshots(snapshots)
+        merged["serve"] = {
+            "backend": self.backend,
+            "policy": self.policy.value,
+            "strategy": self.strategy,
+            "num_workers": self.num_workers,
+            "cap_hint": self.cap_hint,
+            "chunks_ingested": self.chunks_ingested,
+            "matches_collected": len(self.collector),
+            "shards": [sorted(qids) for qids in self._shard_qids],
+        }
+        return merged
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(
+        self,
+        target: Union[str, pathlib.Path, CheckpointManager],
+    ) -> pathlib.Path:
+        """Snapshot the whole service to disk (atomic write).
+
+        ``target`` is a :class:`CheckpointManager` or a directory path
+        for one. Must be called at a chunk barrier (any point between
+        :meth:`run` calls); the snapshot records the stream position so
+        the resuming caller knows where to re-feed from.
+        """
+        self._require_open()
+        manager = (
+            target
+            if isinstance(target, CheckpointManager)
+            else CheckpointManager(target)
+        )
+        states: List[Dict[str, np.ndarray]] = []
+        queries: List[QuerySet] = []
+        for worker_id in range(self.num_workers):
+            self._executor.send(
+                worker_id, ("state",), BackpressurePolicy.BLOCK
+            )
+        for worker_id in range(self.num_workers):
+            states.append(self._expect(worker_id, "state")[2])
+            shard_qids = sorted(self._shard_qids[worker_id])
+            queries.append(
+                QuerySet(
+                    [self._queries[qid] for qid in shard_qids], self._family
+                )
+            )
+        return manager.save(
+            ServiceCheckpoint(
+                config=self.config,
+                keyframes_per_second=self.keyframes_per_second,
+                chunks_ingested=self.chunks_ingested,
+                cap_hint=self.cap_hint,
+                strategy=self.strategy,
+                worker_queries=queries,
+                worker_states=states,
+                matches=list(self.collector.matches),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker and release executor resources."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker_id in range(self.num_workers):
+            try:
+                self._executor.send(
+                    worker_id, ("stop",), BackpressurePolicy.BLOCK
+                )
+            except Exception:
+                continue
+        for worker_id in range(self.num_workers):
+            try:
+                reply = self._executor.recv(worker_id)
+                while reply[0] != "stopped":
+                    reply = self._executor.recv(worker_id)
+            except Exception:
+                continue
+        self._executor.join()
+
+    def __enter__(self) -> "DetectionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,492 @@
+"""Snapshot / restore of one worker's full detector state.
+
+A checkpointed worker must resume *exactly* where it stopped: the same
+live candidates (or ladder segments), the same per-(candidate, query)
+signatures, the same counters, distributions and timers, and the same
+partial-window buffer — so that the post-restore match stream and the
+final metrics are bit-for-bit what an uninterrupted run would have
+produced. :func:`worker_state` flattens all of that into a dict of
+numpy arrays (directly storable in an ``.npz`` and cheap to pickle
+across a process boundary); :func:`restore_worker_state` reinstates it
+onto a freshly constructed detector/monitor pair built from the same
+queries and configuration.
+
+All four engine implementations are covered:
+
+===========  ============================  ===============================
+order        scalar reference              columnar store
+===========  ============================  ===============================
+Sequential   ``_Candidate`` list           start/frame vectors + ``(C, Q)``
+             (sketch, per-qid signature    presence and ``(C, Q, W)``
+             dicts, relevant sets)         planes / ``(C, K)`` block
+Geometric    ``_Segment`` ladder           ``_ColumnarSegment`` ladder
+===========  ============================  ===============================
+
+Scalar signatures round-trip through their packed plane form
+(:func:`~repro.signature.bitsig.planes_from_signature` /
+``signature_from_planes``), scalar sketches through their raw value
+vectors — both loss-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.core.detector import StreamingDetector
+from repro.core.engine_geometric import (
+    ColumnarGeometricEngine,
+    GeometricEngine,
+    _ColumnarSegment,
+    _Segment,
+)
+from repro.core.engine_sequential import (
+    ColumnarSequentialEngine,
+    SequentialEngine,
+    _Candidate,
+)
+from repro.core.live import LiveMonitor
+from repro.errors import ServeError
+from repro.minhash.sketch import Sketch
+from repro.obs.registry import MetricsRegistry
+from repro.signature.bitsig import (
+    BitSignature,
+    plane_words,
+    planes_from_signature,
+    signature_from_planes,
+)
+
+__all__ = ["restore_worker_state", "worker_state"]
+
+
+def _object_array(items: List[str]) -> np.ndarray:
+    array = np.empty(len(items), dtype=object)
+    for position, item in enumerate(items):
+        array[position] = item
+    return array
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+def _registry_state(registry: MetricsRegistry) -> Dict[str, np.ndarray]:
+    counters = list(registry.counters())
+    gauges = list(registry.gauges())
+    dists = list(registry.distributions())
+    timers = list(registry.timers())
+    dist_states = np.asarray(
+        [stats.state() for _, stats in dists], dtype=np.float64
+    ).reshape(len(dists), 5)
+    return {
+        "reg_counter_names": _object_array([name for name, _ in counters]),
+        "reg_counter_values": np.asarray(
+            [value for _, value in counters], dtype=np.int64
+        ),
+        "reg_gauge_names": _object_array([name for name, _ in gauges]),
+        "reg_gauge_values": np.asarray(
+            [value for _, value in gauges], dtype=np.float64
+        ),
+        "reg_dist_names": _object_array([name for name, _ in dists]),
+        "reg_dist_states": dist_states,
+        "reg_timer_names": _object_array([name for name, _ in timers]),
+        "reg_timer_calls": np.asarray(
+            [timer.calls for _, timer in timers], dtype=np.int64
+        ),
+        "reg_timer_seconds": np.asarray(
+            [timer.seconds for _, timer in timers], dtype=np.float64
+        ),
+    }
+
+
+def _restore_registry(
+    registry: MetricsRegistry, state: Dict[str, np.ndarray]
+) -> None:
+    for name, value in zip(
+        state["reg_counter_names"], state["reg_counter_values"]
+    ):
+        registry.set_counter(str(name), int(value))
+    for name, value in zip(
+        state["reg_gauge_names"], state["reg_gauge_values"]
+    ):
+        registry.set_gauge(str(name), float(value))
+    for name, dist_state in zip(
+        state["reg_dist_names"], state["reg_dist_states"]
+    ):
+        registry.distribution(str(name)).load_state(tuple(dist_state))
+    for name, calls, seconds in zip(
+        state["reg_timer_names"],
+        state["reg_timer_calls"],
+        state["reg_timer_seconds"],
+    ):
+        timer = registry.timer(str(name))
+        timer.calls = int(calls)
+        timer.seconds = float(seconds)
+
+
+# ----------------------------------------------------------------------
+# scalar pair flattening (sigs dicts / relevant sets)
+# ----------------------------------------------------------------------
+
+
+def _flatten_sigs(
+    holders: List, width: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten per-holder ``{qid: BitSignature}`` dicts to pair arrays."""
+    rows: List[int] = []
+    qids: List[int] = []
+    ge_rows: List[np.ndarray] = []
+    lt_rows: List[np.ndarray] = []
+    for row, holder in enumerate(holders):
+        for qid in sorted(holder.sigs):
+            ge, lt = planes_from_signature(holder.sigs[qid])
+            rows.append(row)
+            qids.append(qid)
+            ge_rows.append(ge)
+            lt_rows.append(lt)
+    return (
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(qids, dtype=np.int64),
+        np.asarray(ge_rows, dtype=np.uint64).reshape(len(rows), width),
+        np.asarray(lt_rows, dtype=np.uint64).reshape(len(rows), width),
+    )
+
+
+def _flatten_relevant(holders: List) -> Tuple[np.ndarray, np.ndarray]:
+    rows: List[int] = []
+    qids: List[int] = []
+    for row, holder in enumerate(holders):
+        for qid in sorted(holder.relevant):
+            rows.append(row)
+            qids.append(qid)
+    return (
+        np.asarray(rows, dtype=np.int64),
+        np.asarray(qids, dtype=np.int64),
+    )
+
+
+def _unflatten_sigs(
+    state: Dict[str, np.ndarray], num_hashes: int, count: int
+) -> List[Dict[int, BitSignature]]:
+    sigs: List[Dict[int, BitSignature]] = [dict() for _ in range(count)]
+    for row, qid, ge, lt in zip(
+        state["eng_sig_row"],
+        state["eng_sig_qid"],
+        state["eng_sig_ge"],
+        state["eng_sig_lt"],
+    ):
+        sigs[int(row)][int(qid)] = signature_from_planes(ge, lt, num_hashes)
+    return sigs
+
+
+def _unflatten_relevant(
+    state: Dict[str, np.ndarray], count: int
+) -> List[Set[int]]:
+    relevant: List[Set[int]] = [set() for _ in range(count)]
+    for row, qid in zip(state["eng_rel_row"], state["eng_rel_qid"]):
+        relevant[int(row)].add(int(qid))
+    return relevant
+
+
+# ----------------------------------------------------------------------
+# engines
+# ----------------------------------------------------------------------
+
+
+def _engine_kind(engine) -> str:
+    if isinstance(engine, ColumnarSequentialEngine):
+        return "columnar-sequential"
+    if isinstance(engine, ColumnarGeometricEngine):
+        return "columnar-geometric"
+    if isinstance(engine, SequentialEngine):
+        return "scalar-sequential"
+    if isinstance(engine, GeometricEngine):
+        return "scalar-geometric"
+    raise ServeError(f"unknown engine type {type(engine).__name__}")
+
+
+def _columnar_sequential_state(engine: ColumnarSequentialEngine) -> Dict:
+    state = {
+        "eng_qids": np.asarray(engine._qids, dtype=np.int64),
+        "eng_start_window": engine.start_window.copy(),
+        "eng_start_frame": engine.start_frame.copy(),
+    }
+    if engine.context.is_bit:
+        state["eng_presence"] = engine.presence.copy()
+        state["eng_ge"] = engine.ge.copy()
+        state["eng_lt"] = engine.lt.copy()
+    else:
+        state["eng_block"] = engine.block.values.copy()
+        state["eng_relevant"] = engine.relevant.copy()
+    return state
+
+
+def _restore_columnar_sequential(
+    engine: ColumnarSequentialEngine, state: Dict[str, np.ndarray]
+) -> None:
+    engine._sync_columns()
+    _check_qids(engine._qids, state["eng_qids"])
+    engine.start_window = state["eng_start_window"].astype(np.int64)
+    engine.start_frame = state["eng_start_frame"].astype(np.int64)
+    if engine.context.is_bit:
+        engine.presence = state["eng_presence"].astype(bool)
+        engine.ge = state["eng_ge"].astype(np.uint64)
+        engine.lt = state["eng_lt"].astype(np.uint64)
+    else:
+        engine.block.values = state["eng_block"].astype(np.int64)
+        engine.relevant = state["eng_relevant"].astype(bool)
+
+
+def _scalar_sequential_state(engine: SequentialEngine) -> Dict:
+    candidates = engine.candidates
+    width = plane_words(engine.context.config.num_hashes)
+    num_hashes = engine.context.config.num_hashes
+    sig_row, sig_qid, sig_ge, sig_lt = _flatten_sigs(candidates, width)
+    rel_row, rel_qid = _flatten_relevant(candidates)
+    return {
+        "eng_start_window": np.asarray(
+            [c.start_window for c in candidates], dtype=np.int64
+        ),
+        "eng_start_frame": np.asarray(
+            [c.start_frame for c in candidates], dtype=np.int64
+        ),
+        "eng_num_windows": np.asarray(
+            [c.num_windows for c in candidates], dtype=np.int64
+        ),
+        "eng_end_frame": np.asarray(
+            [c.end_frame for c in candidates], dtype=np.int64
+        ),
+        "eng_sketch": np.asarray(
+            [c.sketch.values for c in candidates], dtype=np.int64
+        ).reshape(len(candidates), num_hashes),
+        "eng_sig_row": sig_row,
+        "eng_sig_qid": sig_qid,
+        "eng_sig_ge": sig_ge,
+        "eng_sig_lt": sig_lt,
+        "eng_rel_row": rel_row,
+        "eng_rel_qid": rel_qid,
+    }
+
+
+def _restore_scalar_sequential(
+    engine: SequentialEngine, state: Dict[str, np.ndarray]
+) -> None:
+    num_hashes = engine.context.config.num_hashes
+    fingerprint = engine.context.queries.family.fingerprint
+    count = len(state["eng_start_window"])
+    sigs = _unflatten_sigs(state, num_hashes, count)
+    relevant = _unflatten_relevant(state, count)
+    candidates: List[_Candidate] = []
+    for row in range(count):
+        candidate = _Candidate(
+            start_window=int(state["eng_start_window"][row]),
+            start_frame=int(state["eng_start_frame"][row]),
+            end_frame=int(state["eng_end_frame"][row]),
+            sketch=Sketch._raw(
+                state["eng_sketch"][row].astype(np.int64), fingerprint
+            ),
+            sigs=sigs[row],
+            relevant=relevant[row],
+        )
+        candidate.num_windows = int(state["eng_num_windows"][row])
+        candidates.append(candidate)
+    engine.candidates = candidates
+
+
+def _columnar_geometric_state(engine: ColumnarGeometricEngine) -> Dict:
+    segments = engine.segments
+    is_bit = engine.context.is_bit
+    num_hashes = engine.context.config.num_hashes
+    count = len(segments)
+    num_queries = len(engine._qids)
+    width = plane_words(num_hashes)
+    state = {
+        "eng_qids": np.asarray(engine._qids, dtype=np.int64),
+        "eng_seg_size": np.asarray(
+            [s.size for s in segments], dtype=np.int64
+        ),
+        "eng_seg_start": np.asarray(
+            [s.start_frame for s in segments], dtype=np.int64
+        ),
+        "eng_seg_end": np.asarray(
+            [s.end_frame for s in segments], dtype=np.int64
+        ),
+        "eng_seg_sketch": np.asarray(
+            [s.sketch_values for s in segments], dtype=np.int64
+        ).reshape(count, num_hashes),
+    }
+    if is_bit:
+        state["eng_presence"] = np.asarray(
+            [s.presence for s in segments], dtype=bool
+        ).reshape(count, num_queries)
+        state["eng_ge"] = np.asarray(
+            [s.ge for s in segments], dtype=np.uint64
+        ).reshape(count, num_queries, width)
+        state["eng_lt"] = np.asarray(
+            [s.lt for s in segments], dtype=np.uint64
+        ).reshape(count, num_queries, width)
+    else:
+        state["eng_relevant"] = np.asarray(
+            [s.relevant for s in segments], dtype=bool
+        ).reshape(count, num_queries)
+    return state
+
+
+def _restore_columnar_geometric(
+    engine: ColumnarGeometricEngine, state: Dict[str, np.ndarray]
+) -> None:
+    engine._sync_columns()
+    _check_qids(engine._qids, state["eng_qids"])
+    is_bit = engine.context.is_bit
+    segments: List[_ColumnarSegment] = []
+    for row in range(len(state["eng_seg_size"])):
+        segments.append(
+            _ColumnarSegment(
+                size=int(state["eng_seg_size"][row]),
+                start_frame=int(state["eng_seg_start"][row]),
+                end_frame=int(state["eng_seg_end"][row]),
+                sketch_values=state["eng_seg_sketch"][row].astype(np.int64),
+                presence=(
+                    state["eng_presence"][row].astype(bool) if is_bit else None
+                ),
+                ge=state["eng_ge"][row].astype(np.uint64) if is_bit else None,
+                lt=state["eng_lt"][row].astype(np.uint64) if is_bit else None,
+                relevant=(
+                    None
+                    if is_bit
+                    else state["eng_relevant"][row].astype(bool)
+                ),
+            )
+        )
+    engine.segments = segments
+
+
+def _scalar_geometric_state(engine: GeometricEngine) -> Dict:
+    segments = engine.segments
+    num_hashes = engine.context.config.num_hashes
+    width = plane_words(num_hashes)
+    sig_row, sig_qid, sig_ge, sig_lt = _flatten_sigs(segments, width)
+    rel_row, rel_qid = _flatten_relevant(segments)
+    return {
+        "eng_seg_size": np.asarray(
+            [s.size for s in segments], dtype=np.int64
+        ),
+        "eng_seg_start": np.asarray(
+            [s.start_frame for s in segments], dtype=np.int64
+        ),
+        "eng_seg_end": np.asarray(
+            [s.end_frame for s in segments], dtype=np.int64
+        ),
+        "eng_seg_sketch": np.asarray(
+            [s.sketch.values for s in segments], dtype=np.int64
+        ).reshape(len(segments), num_hashes),
+        "eng_sig_row": sig_row,
+        "eng_sig_qid": sig_qid,
+        "eng_sig_ge": sig_ge,
+        "eng_sig_lt": sig_lt,
+        "eng_rel_row": rel_row,
+        "eng_rel_qid": rel_qid,
+    }
+
+
+def _restore_scalar_geometric(
+    engine: GeometricEngine, state: Dict[str, np.ndarray]
+) -> None:
+    num_hashes = engine.context.config.num_hashes
+    fingerprint = engine.context.queries.family.fingerprint
+    count = len(state["eng_seg_size"])
+    sigs = _unflatten_sigs(state, num_hashes, count)
+    relevant = _unflatten_relevant(state, count)
+    segments: List[_Segment] = []
+    for row in range(count):
+        segments.append(
+            _Segment(
+                size=int(state["eng_seg_size"][row]),
+                start_frame=int(state["eng_seg_start"][row]),
+                end_frame=int(state["eng_seg_end"][row]),
+                sketch=Sketch._raw(
+                    state["eng_seg_sketch"][row].astype(np.int64), fingerprint
+                ),
+                sigs=sigs[row],
+                relevant=relevant[row],
+            )
+        )
+    engine.segments = segments
+
+
+def _check_qids(current: tuple, recorded: np.ndarray) -> None:
+    if tuple(int(qid) for qid in recorded) != tuple(current):
+        raise ServeError(
+            "engine state was checkpointed for a different query set: "
+            f"recorded qids {[int(q) for q in recorded]} vs current "
+            f"{list(current)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+
+def worker_state(
+    detector: StreamingDetector, monitor: LiveMonitor
+) -> Dict[str, np.ndarray]:
+    """Flatten one worker's restorable state into numpy arrays.
+
+    Covers: the engine's candidate/ladder state, the full metrics
+    registry (counters, gauges, distributions, timers — the stream clock
+    ``stream.frames_processed`` and window counter live here), and the
+    monitor's partial-window buffer. Matches already emitted are *not*
+    part of the state: they were delivered to the caller before the
+    snapshot was taken.
+    """
+    kind = _engine_kind(detector.engine)
+    if kind == "columnar-sequential":
+        engine_state = _columnar_sequential_state(detector.engine)
+    elif kind == "columnar-geometric":
+        engine_state = _columnar_geometric_state(detector.engine)
+    elif kind == "scalar-sequential":
+        engine_state = _scalar_sequential_state(detector.engine)
+    else:
+        engine_state = _scalar_geometric_state(detector.engine)
+    pending, flushed = monitor.buffer_state()
+    state: Dict[str, np.ndarray] = {
+        "kind": _object_array([kind]),
+        "pending": pending,
+        "flushed": np.asarray([int(flushed)]),
+        **engine_state,
+        **_registry_state(detector.registry),
+    }
+    return state
+
+
+def restore_worker_state(
+    detector: StreamingDetector,
+    monitor: LiveMonitor,
+    state: Dict[str, np.ndarray],
+) -> None:
+    """Reinstate a :func:`worker_state` snapshot.
+
+    ``detector`` and ``monitor`` must be freshly constructed from the
+    same configuration and query set the snapshot was taken under (the
+    checkpoint layer verifies both before calling this).
+    """
+    kind = str(state["kind"][0])
+    expected = _engine_kind(detector.engine)
+    if kind != expected:
+        raise ServeError(
+            f"checkpointed engine kind {kind!r} does not match the "
+            f"configured engine {expected!r}"
+        )
+    if kind == "columnar-sequential":
+        _restore_columnar_sequential(detector.engine, state)
+    elif kind == "columnar-geometric":
+        _restore_columnar_geometric(detector.engine, state)
+    elif kind == "scalar-sequential":
+        _restore_scalar_sequential(detector.engine, state)
+    else:
+        _restore_scalar_geometric(detector.engine, state)
+    _restore_registry(detector.registry, state)
+    monitor.restore_buffer(state["pending"], bool(int(state["flushed"][0])))

@@ -1,0 +1,154 @@
+"""Per-shard detection workers and their message protocol.
+
+Each worker owns one complete detection stack for its query shard: a
+private :class:`~repro.obs.registry.MetricsRegistry`, a
+:class:`~repro.core.detector.StreamingDetector` constructed with the
+*global* candidate cap hint (so candidate lifecycle matches the
+single-process detector — see
+:meth:`~repro.core.context.EvalContext.set_cap_hint`), and a
+:class:`~repro.core.live.LiveMonitor` front end that assembles the
+worker's identical copy of the stream into basic windows.
+
+The protocol is plain tuples (picklable for the process backend); every
+request produces exactly one reply, so the service can run workers in
+lock step without extra sequencing:
+
+=============================  =====================================
+request                        reply
+=============================  =====================================
+``("chunk", seq, cell_ids)``   ``("matches", wid, seq, [Match, ...])``
+``("flush",)``                 ``("flushed", wid, [Match, ...])``
+``("subscribe", query)``       ``("ok", wid)``
+``("unsubscribe", qid)``       ``("ok", wid)``
+``("cap_hint", hint)``         ``("ok", wid)``
+``("state",)``                 ``("state", wid, {...})``
+``("snapshot",)``              ``("snapshot", wid, {...})``
+``("stop",)``                  ``("stopped", wid)``
+=============================  =====================================
+
+A worker never lets an exception escape: any failure is reported as
+``("error", wid, message)`` and the worker keeps serving, so one bad
+control message cannot orphan a process worker mid-stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import DetectorConfig
+from repro.core.detector import StreamingDetector
+from repro.core.live import LiveMonitor
+from repro.core.query import QuerySet
+from repro.obs.export import snapshot
+from repro.obs.registry import MetricsRegistry
+from repro.serve.state import restore_worker_state, worker_state
+
+__all__ = ["ShardWorker", "WorkerSpec"]
+
+
+@dataclass
+class WorkerSpec:
+    """Everything needed to build one shard's worker, in any process.
+
+    Attributes
+    ----------
+    worker_id:
+        The shard index (stable across checkpoint/restore).
+    config:
+        The shared detector configuration.
+    queries:
+        This shard's query subset.
+    keyframes_per_second:
+        Stream cadence.
+    cap_hint:
+        The *global* max candidate horizon (max over every subscribed
+        query in every shard) — the equivalence-critical floor on this
+        worker's candidate expiry.
+    timing_enabled:
+        Whether the worker's registry records phase wall-clock.
+    state:
+        Optional :func:`~repro.serve.state.worker_state` snapshot to
+        restore on construction (checkpoint resume).
+    """
+
+    worker_id: int
+    config: DetectorConfig
+    queries: QuerySet
+    keyframes_per_second: float
+    cap_hint: int
+    timing_enabled: bool = True
+    state: Optional[Dict[str, np.ndarray]] = None
+
+
+class ShardWorker:
+    """One shard's detector stack plus the request dispatcher."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.worker_id = spec.worker_id
+        self.registry = MetricsRegistry(timing_enabled=spec.timing_enabled)
+        self.detector = StreamingDetector(
+            config=spec.config,
+            queries=spec.queries,
+            keyframes_per_second=spec.keyframes_per_second,
+            registry=self.registry,
+            cap_hint=spec.cap_hint,
+        )
+        self.monitor = LiveMonitor(self.detector)
+        if spec.state is not None:
+            restore_worker_state(self.detector, self.monitor, spec.state)
+
+    def handle(self, message: Tuple) -> Tuple:
+        """Dispatch one request tuple; exceptions become error replies."""
+        try:
+            return self._dispatch(message)
+        except Exception as error:  # noqa: BLE001 — workers must survive
+            return ("error", self.worker_id, f"{type(error).__name__}: {error}")
+
+    def _dispatch(self, message: Tuple) -> Tuple:
+        kind = message[0]
+        if kind == "chunk":
+            _, seq, cell_ids = message
+            matches = self.monitor.push_cell_ids(
+                np.asarray(cell_ids, dtype=np.int64)
+            )
+            return ("matches", self.worker_id, seq, matches)
+        if kind == "flush":
+            return ("flushed", self.worker_id, self.monitor.flush())
+        if kind == "subscribe":
+            self.detector.subscribe(message[1])
+            return ("ok", self.worker_id)
+        if kind == "unsubscribe":
+            self.detector.unsubscribe(message[1])
+            return ("ok", self.worker_id)
+        if kind == "cap_hint":
+            self.detector.set_cap_hint(int(message[1]))
+            return ("ok", self.worker_id)
+        if kind == "state":
+            return (
+                "state",
+                self.worker_id,
+                worker_state(self.detector, self.monitor),
+            )
+        if kind == "snapshot":
+            return ("snapshot", self.worker_id, snapshot(self.registry))
+        if kind == "stop":
+            return ("stopped", self.worker_id)
+        return ("error", self.worker_id, f"unknown message kind {kind!r}")
+
+
+def _worker_loop(spec: WorkerSpec, inbox, outbox) -> None:
+    """Request/reply loop shared by the thread and process backends.
+
+    Runs until a ``stop`` request; its reply is sent before returning so
+    the parent can join deterministically.
+    """
+    worker = ShardWorker(spec)
+    while True:
+        message = inbox.get()
+        reply = worker.handle(message)
+        outbox.put(reply)
+        if reply[0] == "stopped":
+            return

@@ -109,6 +109,24 @@ class RunningStats:
         """Largest observation; -inf when empty."""
         return self._max
 
+    def state(self) -> tuple:
+        """``(count, mean, m2, min, max)`` — the full restorable state.
+
+        Together with :meth:`load_state` this lets a checkpoint carry a
+        distribution across process restarts with bit-identical mean,
+        variance and extrema (``repro.serve`` worker snapshots).
+        """
+        return (self.count, self._mean, self._m2, self._min, self._max)
+
+    def load_state(self, state: Sequence[float]) -> None:
+        """Reinstate a :meth:`state` tuple, replacing any accumulation."""
+        count, mean_, m2, min_, max_ = state
+        self.count = int(count)
+        self._mean = float(mean_)
+        self._m2 = float(m2)
+        self._min = float(min_)
+        self._max = float(max_)
+
     def __repr__(self) -> str:
         return (
             f"RunningStats(count={self.count}, mean={self.mean:.4g}, "

@@ -30,6 +30,13 @@ class TestParser:
         assert args.motion is True
         assert args.gop == 6
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers == 2
+        assert args.backend == "serial"
+        assert args.policy == "block"
+        assert args.resume is False
+
     def test_rejects_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
@@ -64,6 +71,27 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Detections" in output
         assert "precision=" in output
+
+    def test_serve_resume_requires_checkpoint_dir(self, capsys):
+        assert main(["serve", "--resume"]) == 2
+
+    @pytest.mark.slow
+    def test_serve_stop_and_resume(self, capsys, tmp_path):
+        """Interrupted service + --resume reproduces the full-run output."""
+        base = ["serve", "--stream", "vs1", "--queries", "3",
+                "--stream-seconds", "240", "--hashes", "64",
+                "--chunk-seconds", "30", "--workers", "2"]
+        assert main(base) == 0
+        full = capsys.readouterr().out.splitlines()[-1]
+        assert full.startswith("matches=")
+
+        ckpt = ["--checkpoint-dir", str(tmp_path)]
+        assert main(base + ckpt + ["--stop-after", "3"]) == 0
+        assert "--resume to continue" in capsys.readouterr().out
+        assert main(base + ckpt + ["--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed from chunk 3" in resumed
+        assert resumed.splitlines()[-1] == full
 
     @pytest.mark.slow
     def test_sweep_runs(self, capsys):

@@ -5,11 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.config import CombinationOrder, DetectorConfig
 from repro.core.query import QuerySet
 from repro.minhash.family import MinHashFamily
 from repro.persistence import (
     PersistenceError,
     load_query_set,
+    load_recorded_config,
     save_query_set,
 )
 
@@ -108,3 +110,51 @@ class TestFailureModes:
             np.savez_compressed(handle, **archive, allow_pickle=True)
         with pytest.raises(PersistenceError, match="missing field"):
             load_query_set(path)
+
+
+class TestRecordedConfig:
+    """Format version 2: the detector config rides with the query set."""
+
+    def _config(self, **overrides):
+        base = dict(num_hashes=64, threshold=0.7, window_seconds=10.0)
+        base.update(overrides)
+        return DetectorConfig(**base)
+
+    def test_roundtrip_and_match(self, query_set, tmp_path):
+        path = tmp_path / "queries.npz"
+        config = self._config(order=CombinationOrder.GEOMETRIC)
+        save_query_set(query_set, path, config=config)
+        assert load_recorded_config(path) == config
+        load_query_set(path, expected_config=config)  # must not raise
+
+    def test_mismatch_fails_loudly(self, query_set, tmp_path):
+        """Every differing field is named with both values."""
+        path = tmp_path / "queries.npz"
+        save_query_set(query_set, path, config=self._config())
+        other = self._config(threshold=0.9, vectorized=False)
+        with pytest.raises(PersistenceError) as excinfo:
+            load_query_set(path, expected_config=other)
+        message = str(excinfo.value)
+        assert "threshold: recorded=0.7 expected=0.9" in message
+        assert "vectorized: recorded=True expected=False" in message
+
+    def test_no_recorded_config_skips_check(self, query_set, tmp_path):
+        """Files saved without a config have nothing to check against."""
+        path = tmp_path / "queries.npz"
+        save_query_set(query_set, path)
+        assert load_recorded_config(path) is None
+        load_query_set(path, expected_config=self._config())  # no raise
+
+    def test_version1_file_still_loads(self, query_set, tmp_path):
+        """Backward compatibility: v1 archives (no config) load fine."""
+        path = tmp_path / "queries.npz"
+        save_query_set(query_set, path, config=self._config())
+        archive = dict(np.load(path, allow_pickle=True))
+        archive["format_version"] = np.asarray([1])
+        for key in [k for k in archive if k.startswith("config_")]:
+            del archive[key]  # v1 files never carried config arrays
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **archive, allow_pickle=True)
+        restored = load_query_set(path, expected_config=self._config())
+        assert restored.query_ids == query_set.query_ids
+        assert load_recorded_config(path) is None

@@ -1,0 +1,347 @@
+"""Golden equivalence: the sharded service vs the single-process detector.
+
+The serving subsystem promises that sharding is *transparent*: for any
+shard count, the merged match stream is bit-for-bit the single-process
+detector's (same matches, same canonical order for the columnar
+engines), stream-scoped counters replicate per shard, query-scoped
+counters sum to the serial values, and a mid-stream checkpoint/restore
+loses zero matches. This suite drives randomized workloads (hypothesis)
+with subscribe/unsubscribe churn through 1, 2 and 5 shards for both
+combination orders, both representations, and with the index on and
+off; backend smoke tests cover the thread and process executors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CombinationOrder, DetectorConfig, Representation
+from repro.core.detector import StreamingDetector
+from repro.core.live import LiveMonitor
+from repro.core.query import Query, QuerySet
+from repro.minhash.family import MinHashFamily
+from repro.serve import DetectionService, canonical_sort_key
+
+CELL_SPACE = 500
+NUM_HASHES = 32
+WINDOW_SECONDS = 2.5
+KEYFRAMES_PER_SECOND = 2.0  # w = 5 key frames
+SHARD_COUNTS = (1, 2, 5)
+
+ALL_MODES = [
+    pytest.param(order, representation, use_index,
+                 id=f"{order.value}-{representation.value}-"
+                    f"{'idx' if use_index else 'noidx'}")
+    for order in CombinationOrder
+    for representation in Representation
+    for use_index in (False, True)
+]
+
+#: Stream-scoped counters: every shard processes the identical stream,
+#: so these must equal the serial value (not sum to it).
+REPLICATED = {
+    "engine.windows_processed",
+    "stream.frames_processed",
+    "stream.partial_windows",
+    "engine.index_probes",
+    "engine.expired_candidates",
+    "engine.sketch_combines",
+}
+
+
+def _match_key(match):
+    return (
+        match.qid,
+        match.window_index,
+        match.start_frame,
+        match.end_frame,
+        match.similarity,
+    )
+
+
+@st.composite
+def workloads(draw):
+    """A serving session: queries, stream chunks, churn actions."""
+    family_seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(draw(st.integers(0, 2**32 - 1)))
+    num_queries = draw(st.integers(2, 6))
+    queries = {}
+    frames = {}
+    for qid in range(num_queries):
+        n = draw(st.integers(8, 40))
+        queries[qid] = rng.integers(0, CELL_SPACE, size=n)
+        frames[qid] = n
+
+    threshold = draw(st.sampled_from([0.05, 0.3, 0.5, 0.7, 0.9]))
+
+    window_frames = round(WINDOW_SECONDS * KEYFRAMES_PER_SECOND)
+    num_chunks = draw(st.integers(1, 3))
+    chunks = []
+    actions = []
+    next_qid = num_queries
+    for position in range(num_chunks):
+        final = position == num_chunks - 1
+        num_windows = draw(st.integers(1, 10))
+        length = num_windows * window_frames
+        if final and draw(st.booleans()):
+            length += draw(st.integers(1, window_frames - 1))  # partial
+        chunk = rng.integers(0, CELL_SPACE, size=length)
+        if draw(st.booleans()):
+            victim = draw(st.sampled_from(sorted(queries)))
+            copy = np.asarray(queries[victim])[:length]
+            at = draw(st.integers(0, length - copy.size))
+            chunk[at : at + copy.size] = copy
+        chunks.append(chunk)
+        if final:
+            break
+        action = draw(st.sampled_from(["none", "subscribe", "unsubscribe"]))
+        if action == "subscribe":
+            n = draw(st.integers(8, 40))
+            queries[next_qid] = rng.integers(0, CELL_SPACE, size=n)
+            frames[next_qid] = n
+            actions.append(("subscribe", next_qid))
+            next_qid += 1
+        elif action == "unsubscribe":
+            victim = draw(st.sampled_from(sorted(queries)[:num_queries]))
+            actions.append(("unsubscribe", victim))
+        else:
+            actions.append(("none", -1))
+    return family_seed, queries, frames, threshold, chunks, actions
+
+
+def _make_query(family, queries, frames, qid):
+    distinct = np.unique(np.asarray(queries[qid], dtype=np.int64))
+    return Query(qid=qid, cell_ids=distinct, num_frames=frames[qid],
+                 sketch=family.sketch(distinct))
+
+
+def _initial_set(family, queries, frames, actions):
+    subscribed_first = [
+        qid for qid in queries if ("subscribe", qid) not in actions
+    ]
+    return QuerySet.from_cell_ids(
+        {qid: queries[qid] for qid in subscribed_first},
+        {qid: frames[qid] for qid in subscribed_first},
+        family,
+    )
+
+
+def _run_service(config, family, queries, frames, chunks, actions,
+                 num_workers, backend="serial"):
+    """Drive a service through the workload; returns (service, applied).
+
+    ``applied`` records which churn actions actually executed: an
+    unsubscribe is skipped when the victim is its shard's last query or
+    was never subscribed, and the serial reference replays exactly the
+    same decisions.
+    """
+    service = DetectionService(
+        config,
+        _initial_set(family, queries, frames, actions),
+        KEYFRAMES_PER_SECOND,
+        num_workers=num_workers,
+        backend=backend,
+    )
+    applied = []  # (boundary, kind, qid) — kept aligned for the replay
+    for position, chunk in enumerate(chunks):
+        final = position == len(chunks) - 1
+        service.run([chunk], flush=final)
+        if final or position >= len(actions):
+            continue
+        kind, qid = actions[position]
+        if kind == "subscribe":
+            service.subscribe(_make_query(family, queries, frames, qid))
+            applied.append((position, "subscribe", qid))
+        elif kind == "unsubscribe":
+            try:
+                worker = service.shard_of(qid)
+            except Exception:
+                continue  # already unsubscribed earlier
+            if service.shard_sizes()[worker] < 2:
+                continue  # would empty the shard
+            service.unsubscribe(qid)
+            applied.append((position, "unsubscribe", qid))
+    return service, applied
+
+
+@pytest.mark.parametrize("order,representation,use_index", ALL_MODES)
+@settings(max_examples=10, deadline=None)
+@given(workload=workloads())
+def test_sharded_equals_serial(order, representation, use_index, workload):
+    family_seed, queries, frames, threshold, chunks, actions = workload
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=family_seed)
+    config = DetectorConfig(
+        num_hashes=NUM_HASHES,
+        threshold=threshold,
+        window_seconds=WINDOW_SECONDS,
+        order=order,
+        representation=representation,
+        use_index=use_index,
+        vectorized=True,
+    )
+    for num_workers in SHARD_COUNTS:
+        service, applied = _run_service(
+            config, family, queries, frames, chunks, actions, num_workers
+        )
+        # Which churn actions execute depends on shard topology (an
+        # unsubscribe that would empty a shard is skipped), so the
+        # serial reference replays exactly this run's applied actions.
+        ref_detector, ref_matches = _serial_with_actions(
+            config, family, queries, frames, chunks, applied
+        )
+        # Bit-for-bit stream: same matches in the canonical order.
+        key = canonical_sort_key(order)
+        assert [
+            _match_key(m) for m in sorted(ref_matches, key=key)
+        ] == [_match_key(m) for m in service.matches]
+        _assert_counters(ref_detector, service)
+        service.close()
+
+
+def _serial_with_actions(config, family, queries, frames, chunks, applied):
+    """Run the plain detector applying ``applied`` at the *same* chunk
+    boundaries the service applied them at (skipped actions leave gaps,
+    so each entry carries its boundary index)."""
+    by_boundary = {boundary: (kind, qid) for boundary, kind, qid in applied}
+    detector = StreamingDetector(
+        config,
+        _initial_set(
+            family, queries, frames,
+            [("subscribe", qid) for _, kind, qid in applied
+             if kind == "subscribe"],
+        ),
+        KEYFRAMES_PER_SECOND,
+    )
+    monitor = LiveMonitor(detector)
+    matches = []
+    for index, chunk in enumerate(chunks):
+        matches.extend(monitor.push_cell_ids(chunk))
+        if index == len(chunks) - 1:
+            break
+        if index in by_boundary:
+            kind, qid = by_boundary[index]
+            if kind == "subscribe":
+                detector.subscribe(
+                    _make_query(family, queries, frames, qid)
+                )
+            else:
+                detector.unsubscribe(qid)
+    matches.extend(monitor.flush())
+    return detector, matches
+
+
+def _assert_counters(ref_detector, service):
+    """Merged counters match serial: replicated equal, additive sum."""
+    merged = service.metrics_snapshot()
+    serial = dict(ref_detector.registry.counters())
+    assert merged["conflicts"] == [], merged["conflicts"]
+    for name, value in serial.items():
+        assert merged["counters"].get(name, 0) == value, name
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_backends_match_serial(backend):
+    """The concurrent executors produce the serial backend's output."""
+    rng = np.random.default_rng(23)
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=4)
+    cells = {qid: rng.integers(0, CELL_SPACE, size=30) for qid in range(5)}
+    frames = {qid: 30 for qid in cells}
+    chunks = [rng.integers(0, CELL_SPACE, size=40) for _ in range(3)]
+    chunks[1][5:35] = cells[2]
+    config = DetectorConfig(
+        num_hashes=NUM_HASHES, threshold=0.3,
+        window_seconds=WINDOW_SECONDS,
+    )
+
+    def run(backend_name):
+        queries = QuerySet.from_cell_ids(cells, frames, family)
+        with DetectionService(
+            config, queries, KEYFRAMES_PER_SECOND,
+            num_workers=3, backend=backend_name,
+        ) as service:
+            service.run(chunks)
+            return list(service.matches)
+
+    assert [_match_key(m) for m in run(backend)] == [
+        _match_key(m) for m in run("serial")
+    ]
+
+
+@pytest.mark.parametrize("order", list(CombinationOrder))
+def test_checkpoint_restore_loses_nothing(order, tmp_path):
+    """Mid-stream snapshot + restore reproduces the uninterrupted run."""
+    rng = np.random.default_rng(31)
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=9)
+    cells = {qid: rng.integers(0, CELL_SPACE, size=25) for qid in range(4)}
+    frames = {qid: 25 for qid in cells}
+    chunks = [rng.integers(0, CELL_SPACE, size=35) for _ in range(4)]
+    chunks[0][3:28] = cells[1]
+    chunks[2][7:32] = cells[3]
+    config = DetectorConfig(
+        num_hashes=NUM_HASHES, threshold=0.3,
+        window_seconds=WINDOW_SECONDS, order=order,
+    )
+
+    def fresh_queries():
+        return QuerySet.from_cell_ids(cells, frames, family)
+
+    uninterrupted = DetectionService(
+        config, fresh_queries(), KEYFRAMES_PER_SECOND, num_workers=2
+    )
+    uninterrupted.run(chunks)
+
+    first = DetectionService(
+        config, fresh_queries(), KEYFRAMES_PER_SECOND, num_workers=2
+    )
+    first.run(chunks[:2], flush=False)
+    path = first.checkpoint(tmp_path)
+    first.close()
+
+    resumed = DetectionService.restore(path, expected_config=config)
+    assert resumed.chunks_ingested == 2
+    resumed.run(chunks[2:], flush=True)
+
+    assert [_match_key(m) for m in resumed.matches] == [
+        _match_key(m) for m in uninterrupted.matches
+    ]
+    merged_a = uninterrupted.metrics_snapshot()["counters"]
+    merged_b = resumed.metrics_snapshot()["counters"]
+    for name in [k for k in merged_a if k.startswith(("engine.", "stream."))]:
+        assert merged_a[name] == merged_b[name], name
+    uninterrupted.close()
+    resumed.close()
+
+
+def test_scalar_engines_match_after_canonical_sort():
+    """Scalar (vectorized=False) workers: set-iteration order differs,
+    but the canonically sorted stream still equals serial."""
+    rng = np.random.default_rng(51)
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=2)
+    cells = {qid: rng.integers(0, CELL_SPACE, size=28) for qid in range(4)}
+    frames = {qid: 28 for qid in cells}
+    chunks = [rng.integers(0, CELL_SPACE, size=30) for _ in range(2)]
+    chunks[0][1:29] = cells[0]
+    for order in CombinationOrder:
+        config = DetectorConfig(
+            num_hashes=NUM_HASHES, threshold=0.3,
+            window_seconds=WINDOW_SECONDS, order=order, vectorized=False,
+        )
+        detector = StreamingDetector(
+            config, QuerySet.from_cell_ids(cells, frames, family),
+            KEYFRAMES_PER_SECOND,
+        )
+        monitor = LiveMonitor(detector)
+        serial = []
+        for chunk in chunks:
+            serial.extend(monitor.push_cell_ids(chunk))
+        serial.extend(monitor.flush())
+        with DetectionService(
+            config, QuerySet.from_cell_ids(cells, frames, family),
+            KEYFRAMES_PER_SECOND, num_workers=2,
+        ) as service:
+            service.run(chunks)
+            assert sorted(map(_match_key, service.matches)) == sorted(
+                map(_match_key, serial)
+            )

@@ -1,0 +1,290 @@
+"""Unit tests for the serving subsystem's building blocks.
+
+Covers the shard planner (balance, determinism, clamping, errors), the
+match collector's canonical ordering, the bounded-queue backpressure
+policies, cross-worker metrics merging, and the checkpoint manager's
+atomicity and failure modes. End-to-end shard equivalence lives in
+``test_serve_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CombinationOrder, DetectorConfig
+from repro.core.query import QuerySet
+from repro.core.results import Match
+from repro.errors import ServeError
+from repro.minhash.family import MinHashFamily
+from repro.obs.merge import MergeError, merge_snapshots
+from repro.persistence import PersistenceError
+from repro.serve import (
+    BackpressurePolicy,
+    BoundedChannel,
+    CheckpointManager,
+    MatchCollector,
+    ServiceCheckpoint,
+    ShardPlanner,
+)
+
+
+@pytest.fixture()
+def family():
+    return MinHashFamily(num_hashes=32, seed=5)
+
+
+def _query_set(family, sizes):
+    """Queries 0..n-1 whose frame counts are ``sizes``."""
+    rng = np.random.default_rng(9)
+    cells = {
+        qid: rng.integers(0, 500, size=max(4, length))
+        for qid, length in enumerate(sizes)
+    }
+    return QuerySet.from_cell_ids(
+        cells, dict(enumerate(sizes)), family
+    )
+
+
+class TestShardPlanner:
+    def test_every_query_in_exactly_one_shard(self, family):
+        queries = _query_set(family, [10, 20, 30, 40, 50])
+        plan = ShardPlanner(2).plan(queries, window_frames=5, tempo_scale=1.0)
+        seen = [qid for shard in plan.shards for qid in shard]
+        assert sorted(seen) == queries.query_ids
+
+    def test_load_strategy_balances_candidate_caps(self, family):
+        # One huge query and four tiny ones: LPT puts the giant alone.
+        queries = _query_set(family, [400, 10, 10, 10, 10])
+        plan = ShardPlanner(2, strategy="load").plan(
+            queries, window_frames=5, tempo_scale=1.0
+        )
+        assert plan.shard_of(0) != plan.shard_of(1)
+        giant = plan.shard_of(0)
+        assert plan.shards[giant] == (0,)
+
+    def test_count_strategy_balances_sizes(self, family):
+        queries = _query_set(family, [400, 10, 10, 10])
+        plan = ShardPlanner(2, strategy="count").plan(
+            queries, window_frames=5, tempo_scale=1.0
+        )
+        assert sorted(len(shard) for shard in plan.shards) == [2, 2]
+
+    def test_deterministic(self, family):
+        queries = _query_set(family, [17, 23, 9, 31, 12, 25])
+        plans = [
+            ShardPlanner(3).plan(queries, window_frames=5, tempo_scale=1.0)
+            for _ in range(3)
+        ]
+        assert plans[0] == plans[1] == plans[2]
+
+    def test_more_shards_than_queries_clamps(self, family):
+        queries = _query_set(family, [10, 20])
+        plan = ShardPlanner(8).plan(queries, window_frames=5, tempo_scale=1.0)
+        assert plan.num_shards == 2
+        assert all(len(shard) == 1 for shard in plan.shards)
+
+    def test_imbalance_metric(self, family):
+        queries = _query_set(family, [10, 10, 10, 10])
+        plan = ShardPlanner(2, strategy="count").plan(
+            queries, window_frames=5, tempo_scale=1.0
+        )
+        assert plan.imbalance() == pytest.approx(1.0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ServeError, match="num_shards"):
+            ShardPlanner(0)
+        with pytest.raises(ServeError, match="strategy"):
+            ShardPlanner(2, strategy="alphabetical")
+
+    def test_shard_of_unknown_query(self, family):
+        queries = _query_set(family, [10])
+        plan = ShardPlanner(1).plan(queries, window_frames=5, tempo_scale=1.0)
+        with pytest.raises(ServeError, match="not in the shard plan"):
+            plan.shard_of(99)
+
+
+def _match(qid, window, start):
+    return Match(qid=qid, window_index=window, start_frame=start,
+                 end_frame=start + 4, similarity=0.5)
+
+
+class TestMatchCollector:
+    def test_sequential_order_ascending_start(self):
+        collector = MatchCollector(CombinationOrder.SEQUENTIAL)
+        merged = collector.merge([
+            [_match(1, 0, 10), _match(1, 1, 0)],
+            [_match(0, 0, 5), _match(0, 1, 0)],
+        ])
+        assert [(m.window_index, m.start_frame, m.qid) for m in merged] == [
+            (0, 5, 0), (0, 10, 1), (1, 0, 0), (1, 0, 1),
+        ]
+
+    def test_geometric_order_descending_start(self):
+        collector = MatchCollector(CombinationOrder.GEOMETRIC)
+        merged = collector.merge([
+            [_match(1, 0, 0)],
+            [_match(0, 0, 10), _match(0, 0, 5)],
+        ])
+        assert [(m.window_index, m.start_frame, m.qid) for m in merged] == [
+            (0, 10, 0), (0, 5, 0), (0, 0, 1),
+        ]
+
+    def test_accumulates_and_restores(self):
+        collector = MatchCollector(CombinationOrder.SEQUENTIAL)
+        collector.merge([[_match(0, 0, 0)]])
+        collector.merge([[_match(0, 1, 0)]])
+        assert len(collector) == 2
+        other = MatchCollector(CombinationOrder.SEQUENTIAL)
+        other.restore(collector.matches)
+        assert other.matches == collector.matches
+
+
+class TestBoundedChannel:
+    def test_block_policy_waits_and_reports_time(self):
+        import threading
+
+        channel = BoundedChannel(1)
+        channel.put("a")
+
+        def drain():
+            channel.get()
+
+        timer = threading.Timer(0.05, drain)
+        timer.start()
+        outcome = channel.put("b", BackpressurePolicy.BLOCK)
+        timer.join()
+        assert outcome.delivered
+        assert outcome.blocked_seconds > 0
+
+    def test_drop_oldest_steals_head(self):
+        channel = BoundedChannel(2)
+        channel.put("a")
+        channel.put("b")
+        outcome = channel.put("c", BackpressurePolicy.DROP_OLDEST)
+        assert outcome.delivered and outcome.dropped == ["a"]
+        assert channel.get() == "b"
+        assert channel.get() == "c"
+
+    def test_shed_rejects_new_item(self):
+        channel = BoundedChannel(1)
+        channel.put("a")
+        outcome = channel.put("b", BackpressurePolicy.SHED)
+        assert not outcome.delivered and not outcome.dropped
+        assert channel.get() == "a"
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ServeError, match="capacity"):
+            BoundedChannel(0)
+
+
+class TestMergeSnapshots:
+    def _snap(self, counters, gauges=None, timers=None):
+        return {
+            "schema": "repro.obs/1",
+            "counters": counters,
+            "gauges": gauges or {},
+            "distributions": {},
+            "timers": timers or {},
+        }
+
+    def test_additive_counters_sum(self):
+        merged = merge_snapshots([
+            self._snap({"engine.matches_reported": 3}),
+            self._snap({"engine.matches_reported": 4}),
+        ])
+        assert merged["counters"]["engine.matches_reported"] == 7
+
+    def test_replicated_counters_do_not_sum(self):
+        merged = merge_snapshots([
+            self._snap({"engine.windows_processed": 12}),
+            self._snap({"engine.windows_processed": 12}),
+        ])
+        assert merged["counters"]["engine.windows_processed"] == 12
+        assert merged["conflicts"] == []
+
+    def test_replicated_disagreement_recorded(self):
+        merged = merge_snapshots([
+            self._snap({"engine.windows_processed": 12}),
+            self._snap({"engine.windows_processed": 10}),
+        ])
+        assert merged["counters"]["engine.windows_processed"] == 12
+        assert len(merged["conflicts"]) == 1
+
+    def test_replicated_disagreement_strict_raises(self):
+        with pytest.raises(MergeError, match="windows_processed"):
+            merge_snapshots([
+                self._snap({"engine.windows_processed": 12}),
+                self._snap({"engine.windows_processed": 10}),
+            ], strict=True)
+
+    def test_timers_sum(self):
+        merged = merge_snapshots([
+            self._snap({}, timers={"phase.sketch": {"calls": 2,
+                                                    "seconds": 0.5}}),
+            self._snap({}, timers={"phase.sketch": {"calls": 3,
+                                                    "seconds": 0.25}}),
+        ])
+        assert merged["timers"]["phase.sketch"] == {
+            "calls": 5, "seconds": 0.75,
+        }
+
+
+class TestCheckpointManager:
+    def _checkpoint(self, family, chunks=3):
+        queries = _query_set(family, [10, 20])
+        return ServiceCheckpoint(
+            config=DetectorConfig(num_hashes=32),
+            keyframes_per_second=2.0,
+            chunks_ingested=chunks,
+            cap_hint=4,
+            strategy="load",
+            worker_queries=[queries],
+            worker_states=[{"pending": np.arange(3, dtype=np.int64)}],
+            matches=[_match(0, 1, 5)],
+        )
+
+    def test_roundtrip(self, family, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(self._checkpoint(family))
+        assert path == manager.latest()
+        loaded = manager.load()
+        assert loaded.chunks_ingested == 3
+        assert loaded.cap_hint == 4
+        assert loaded.matches == [_match(0, 1, 5)]
+        assert loaded.worker_queries[0].query_ids == [0, 1]
+        assert np.array_equal(
+            loaded.worker_states[0]["pending"], np.arange(3)
+        )
+
+    def test_latest_picks_highest_position(self, family, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(self._checkpoint(family, chunks=2))
+        manager.save(self._checkpoint(family, chunks=10))
+        assert manager.load().chunks_ingested == 10
+
+    def test_no_tmp_residue(self, family, tmp_path):
+        """Atomic write: only the final file remains."""
+        manager = CheckpointManager(tmp_path)
+        manager.save(self._checkpoint(family))
+        assert [p.suffix for p in tmp_path.iterdir()] == [".npz"]
+
+    def test_config_mismatch_fails_loudly(self, family, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save(self._checkpoint(family))
+        with pytest.raises(PersistenceError, match="num_hashes"):
+            manager.load(expected_config=DetectorConfig(num_hashes=64))
+
+    def test_unknown_format_rejected(self, family, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(self._checkpoint(family))
+        archive = dict(np.load(path, allow_pickle=True))
+        archive["format"] = np.asarray(["repro.ckpt/99"], dtype=object)
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **archive, allow_pickle=True)
+        with pytest.raises(PersistenceError, match="repro.ckpt/99"):
+            manager.load(path)
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no checkpoint"):
+            CheckpointManager(tmp_path / "absent").load()
