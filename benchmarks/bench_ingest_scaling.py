@@ -1,0 +1,247 @@
+"""Ingestion scalability benchmark: throughput vs stream count.
+
+Measures aggregate detector throughput (key frames/second through
+``StreamScheduler.run``) as the number of concurrent streams grows, for
+both scheduling policies (round-robin and deficit round robin) and for
+the inline and pooled detector modes, against N independent
+``StreamingDetector`` + ``LiveMonitor`` runs as the baseline. Streams
+deliver pre-extracted cell ids (the codec-free fast path) so the
+quantity under test is scheduling and multiplexing overhead, not codec
+work. Per-stream output equality with the independent baseline is
+enforced on every configuration — a wrong-but-fast scheduler fails the
+run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest_scaling.py [--quick]
+
+Writes ``BENCH_INGEST.json`` at the repository root (override with
+``--output``). Standalone CLI, not a pytest module; the rows feed
+docs/ingestion.md and the CI chaos-smoke step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import DetectorConfig
+from repro.core.detector import StreamingDetector
+from repro.core.live import LiveMonitor
+from repro.core.query import QuerySet
+from repro.ingest import (
+    CellIdSource,
+    SchedulingPolicy,
+    StreamScheduler,
+    StreamSession,
+)
+from repro.minhash.family import MinHashFamily
+
+BENCH_SEED = 20080408
+KEYFRAMES_PER_SECOND = 2.0
+WINDOW_SECONDS = 5.0
+THRESHOLD = 0.7
+CELL_ID_SPACE = 40_960
+QUERY_FRAMES = (60, 100)
+CHUNK_FRAMES = 80
+
+
+def build_workload(rng: np.random.Generator, num_queries: int,
+                   num_streams: int, frames_per_stream: int):
+    """Shared queries plus per-stream chunked cell-id streams with
+    embedded copies."""
+    cell_ids: Dict[int, np.ndarray] = {}
+    frame_counts: Dict[int, int] = {}
+    for qid in range(num_queries):
+        n = int(rng.integers(QUERY_FRAMES[0], QUERY_FRAMES[1] + 1))
+        cell_ids[qid] = rng.integers(0, CELL_ID_SPACE, size=n)
+        frame_counts[qid] = n
+    streams: List[List[np.ndarray]] = []
+    for _ in range(num_streams):
+        stream = rng.integers(0, CELL_ID_SPACE, size=frames_per_stream)
+        copy = np.asarray(cell_ids[int(rng.integers(0, num_queries))])
+        at = int(rng.integers(0, frames_per_stream - copy.size))
+        stream[at : at + copy.size] = copy
+        streams.append([
+            stream[offset : offset + CHUNK_FRAMES]
+            for offset in range(0, frames_per_stream, CHUNK_FRAMES)
+        ])
+    return cell_ids, frame_counts, streams
+
+
+def _match_key(match):
+    return (match.qid, match.window_index, match.start_frame,
+            match.end_frame, match.similarity)
+
+
+def run_baseline(config, fresh_queries, streams):
+    """N independent single-stream runs, timed end to end."""
+    start = time.perf_counter()
+    per_stream = []
+    for chunks in streams:
+        detector = StreamingDetector(
+            config, fresh_queries(), KEYFRAMES_PER_SECOND
+        )
+        monitor = LiveMonitor(detector)
+        matches = []
+        for chunk in chunks:
+            matches.extend(monitor.push_cell_ids(chunk))
+        matches.extend(monitor.flush())
+        per_stream.append(matches)
+    elapsed = time.perf_counter() - start
+    frames = sum(sum(len(c) for c in chunks) for chunks in streams)
+    return {
+        "matches": sum(len(m) for m in per_stream),
+        "elapsed_s": elapsed,
+        "frames_per_sec": frames / elapsed if elapsed > 0 else 0.0,
+    }, per_stream
+
+
+def run_scheduler(config, fresh_queries, streams, policy, pool_size):
+    """One timed scheduler pass over all streams."""
+    pairs = []
+    for stream_id, chunks in enumerate(streams):
+        session = StreamSession(
+            stream_id, config, fresh_queries(), KEYFRAMES_PER_SECOND
+        )
+        pairs.append((CellIdSource(stream_id, chunks), session))
+    scheduler = StreamScheduler(
+        pairs, policy=policy, pool_size=pool_size, queue_capacity=4
+    )
+    start = time.perf_counter()
+    by_stream = scheduler.run()
+    elapsed = time.perf_counter() - start
+    frames = sum(sum(len(c) for c in chunks) for chunks in streams)
+    return {
+        "matches": sum(len(m) for m in by_stream.values()),
+        "elapsed_s": elapsed,
+        "frames_per_sec": frames / elapsed if elapsed > 0 else 0.0,
+    }, [by_stream[stream_id] for stream_id in range(len(streams))]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer streams, shorter streams, one repeat",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_INGEST.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per configuration (best is kept)",
+    )
+    args = parser.parse_args(argv)
+
+    num_queries = 6 if args.quick else 16
+    frames_per_stream = 640 if args.quick else 3200
+    repeats = args.repeats or (1 if args.quick else 3)
+    stream_counts = [1, 2, 4] if args.quick else [1, 2, 4, 8]
+    pool_sizes = [0, 2]
+
+    config = DetectorConfig(
+        num_hashes=64 if args.quick else 256,
+        threshold=THRESHOLD,
+        window_seconds=WINDOW_SECONDS,
+    )
+    family = MinHashFamily(num_hashes=config.num_hashes, seed=BENCH_SEED)
+
+    results: List[Dict[str, object]] = []
+    for num_streams in stream_counts:
+        rng = np.random.default_rng(BENCH_SEED + num_streams)
+        cell_ids, frame_counts, streams = build_workload(
+            rng, num_queries, num_streams, frames_per_stream
+        )
+
+        def fresh_queries() -> QuerySet:
+            return QuerySet.from_cell_ids(cell_ids, frame_counts, family)
+
+        baseline = None
+        reference = None
+        for _ in range(repeats):
+            sample, per_stream = run_baseline(
+                config, fresh_queries, streams
+            )
+            reference = per_stream
+            if baseline is None or (
+                sample["frames_per_sec"] > baseline["frames_per_sec"]
+            ):
+                baseline = sample
+        results.append({
+            "policy": "independent", "streams": num_streams,
+            "pool": 0, **baseline,
+        })
+        print(f"n={num_streams} {'independent':>12s} pool=0 "
+              f"{baseline['frames_per_sec']:>10.1f} frames/s "
+              f"({baseline['matches']} matches)")
+
+        for policy in SchedulingPolicy:
+            for pool_size in pool_sizes:
+                best = None
+                for _ in range(repeats):
+                    sample, per_stream = run_scheduler(
+                        config, fresh_queries, streams, policy, pool_size
+                    )
+                    for got, expected in zip(per_stream, reference):
+                        if [_match_key(m) for m in got] != [
+                            _match_key(m) for m in expected
+                        ]:
+                            raise SystemExit(
+                                f"{policy.value}/pool={pool_size} "
+                                f"diverged from the independent runs — "
+                                "multiplexing transparency violated"
+                            )
+                    if best is None or (
+                        sample["frames_per_sec"] > best["frames_per_sec"]
+                    ):
+                        best = sample
+                results.append({
+                    "policy": policy.value, "streams": num_streams,
+                    "pool": pool_size, **best,
+                })
+                ratio = (
+                    best["frames_per_sec"] / baseline["frames_per_sec"]
+                    if baseline["frames_per_sec"] else 0.0
+                )
+                print(f"n={num_streams} {policy.value:>12s} "
+                      f"pool={pool_size} "
+                      f"{best['frames_per_sec']:>10.1f} frames/s "
+                      f"(x{ratio:.2f} vs independent)")
+
+    report = {
+        "benchmark": "ingest_scaling",
+        "seed": BENCH_SEED,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": {
+            "num_hashes": config.num_hashes,
+            "threshold": THRESHOLD,
+            "window_seconds": WINDOW_SECONDS,
+            "frames_per_stream": frames_per_stream,
+            "chunk_frames": CHUNK_FRAMES,
+            "num_queries": num_queries,
+            "repeats": repeats,
+        },
+        "rows": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,8 +17,14 @@ need without writing Python:
   detection service (``repro.serve``): pick a worker count and backend,
   optionally checkpoint every N chunks and resume a killed run from the
   latest snapshot with ``--resume``.
+* ``ingest`` — run the fault-tolerant multi-stream ingestion layer
+  (``repro.ingest``): N synthetic bitstream sources, optional fault
+  injection (bit flips, truncation, drops, duplicates, stalls), a
+  degradation policy for damaged GOPs and a scheduling policy across
+  streams. A query copy is planted in every stream so detection can be
+  eyeballed end to end.
 
-``demo``, ``sweep``, ``stats`` and ``serve`` all accept
+``demo``, ``sweep``, ``stats``, ``serve`` and ``ingest`` all accept
 ``--metrics-out PATH`` to write the same ``repro.obs/1`` JSON snapshot
 benchmarks dump next to their figures (sweeps write one snapshot per
 swept value; serve writes the cross-worker merged snapshot).
@@ -147,6 +153,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write the merged cross-worker JSON snapshot "
                        "here")
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="run the fault-tolerant multi-stream ingestion scheduler",
+    )
+    ingest.add_argument("--streams", type=int, default=3,
+                        help="number of concurrent synthetic streams")
+    ingest.add_argument("--chunks", type=int, default=10,
+                        help="chunks per stream")
+    ingest.add_argument("--chunk-seconds", type=float, default=2.0,
+                        help="stream seconds per chunk")
+    ingest.add_argument("--faults", choices=("none", "light", "heavy"),
+                        default="light",
+                        help="fault-injection preset applied to every "
+                        "stream")
+    ingest.add_argument("--policy", choices=("round_robin", "deficit"),
+                        default="round_robin",
+                        help="scheduling discipline across streams")
+    ingest.add_argument("--degrade",
+                        choices=("skip_window", "zero_fill", "fail"),
+                        default="skip_window",
+                        help="what to do with undecodable key frames")
+    ingest.add_argument("--pool", type=int, default=0,
+                        help="detector worker threads (0 = inline)")
+    ingest.add_argument("--queue-capacity", type=int, default=4,
+                        help="per-stream chunk queue bound")
+    ingest.add_argument("--seed", type=int, default=42)
+    ingest.add_argument("--entropy", action="store_true",
+                        help="use exp-Golomb entropy coding in the "
+                        "synthetic bitstreams")
+    ingest.add_argument("--hashes", type=int, default=128, metavar="K")
+    ingest.add_argument("--threshold", type=float, default=0.7,
+                        metavar="DELTA")
+    ingest.add_argument("--window-seconds", type=float, default=2.0,
+                        metavar="W")
+    ingest.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the nested repro.ingest/1 JSON "
+                        "snapshot here")
 
     inspect = subparsers.add_parser(
         "inspect", help="encode a synthetic clip and inspect the bitstream"
@@ -370,6 +414,127 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.core.query import QuerySet
+    from repro.features.pipeline import FingerprintExtractor
+    from repro.ingest import (
+        FAULT_PRESETS,
+        DegradationPolicy,
+        FaultInjector,
+        INGEST_FORMAT,
+        SchedulingPolicy,
+        StreamScheduler,
+        StreamSession,
+        SyntheticSource,
+    )
+    from repro.minhash.family import MinHashFamily
+    from repro.utils.rng import derive_seed
+    from repro.video.synth import ClipSynthesizer, SynthesisConfig
+
+    if args.streams < 1:
+        print("--streams must be >= 1", file=sys.stderr)
+        return 2
+    config = DetectorConfig(
+        num_hashes=args.hashes,
+        threshold=args.threshold,
+        window_seconds=args.window_seconds,
+    )
+    extractor = FingerprintExtractor()
+    plan = FAULT_PRESETS[args.faults]
+    policy = DegradationPolicy(args.degrade)
+
+    # Plant one query copy into every stream at a known chunk so each
+    # stream has something to detect; fault injection may destroy it.
+    query_synth = ClipSynthesizer(
+        SynthesisConfig(video_format=INGEST_FORMAT),
+        seed=derive_seed(args.seed, "ingest-query"),
+    )
+    query_clip = query_synth.generate_clip(args.chunk_seconds, "query")
+    copy_at = min(2, args.chunks - 1)
+    sources = [
+        SyntheticSource(
+            stream_id,
+            args.seed,
+            args.chunks,
+            chunk_seconds=args.chunk_seconds,
+            entropy_coding=args.entropy,
+            copies={copy_at: query_clip},
+        )
+        for stream_id in range(args.streams)
+    ]
+    # Query fingerprints come from the *encoded* copy so the query and
+    # stream sides see identical quantisation.
+    query_ids = extractor.cell_ids_from_encoded(
+        sources[0].encode_chunk(copy_at)
+    )
+    family = MinHashFamily(num_hashes=config.num_hashes, seed=0)
+    queries = QuerySet.from_cell_ids(
+        {1: query_ids}, {1: int(query_ids.shape[0])}, family,
+        labels={1: "planted-copy"},
+    )
+
+    hint = int(round(
+        args.chunk_seconds * sources[0].keyframes_per_second
+    ))
+    pairs = []
+    for source in sources:
+        session = StreamSession(
+            source.stream_id,
+            config,
+            queries,
+            source.keyframes_per_second,
+            extractor=extractor,
+            policy=policy,
+            chunk_keyframes_hint=hint,
+        )
+        feed = (
+            source
+            if args.faults == "none"
+            else FaultInjector(
+                source, plan,
+                seed=derive_seed(args.seed, f"faults-{source.stream_id}"),
+            )
+        )
+        pairs.append((feed, session))
+
+    scheduler = StreamScheduler(
+        pairs,
+        policy=SchedulingPolicy(args.policy),
+        pool_size=args.pool,
+        queue_capacity=args.queue_capacity,
+    )
+    print(f"ingesting {args.streams} stream(s) x {args.chunks} chunks "
+          f"({args.faults} faults, {args.degrade} degradation, "
+          f"{args.policy} scheduling, pool={args.pool})")
+    matches_by_stream = scheduler.run()
+
+    rows = []
+    for feed, session in pairs:
+        counter = session.registry.counter
+        rows.append([
+            session.stream_id,
+            counter("ingest.chunks_processed"),
+            counter("ingest.frames_decoded"),
+            counter("ingest.frames_damaged"),
+            counter("ingest.frames_missing"),
+            len(matches_by_stream[session.stream_id]),
+            "failed" if session.failed else "ok",
+        ])
+    print()
+    print(format_table(
+        ["stream", "chunks", "decoded", "damaged", "missing",
+         "matches", "state"],
+        rows,
+        title="Ingestion report",
+    ))
+    print()
+    recon = scheduler.reconciliation()
+    print(" ".join(f"{key}={value}" for key, value in recon.items()))
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, scheduler.metrics_snapshot())
+    return 0
+
+
 def _command_inspect(args: argparse.Namespace) -> int:
     synth = ClipSynthesizer(seed=args.seed)
     clip = synth.generate_clip(args.seconds, label="inspect", fps=10.0)
@@ -415,6 +580,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_stats(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "ingest":
+        return _command_ingest(args)
     return _command_inspect(args)
 
 

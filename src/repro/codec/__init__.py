@@ -36,8 +36,15 @@ from repro.codec.gop import (
     decode_dc_coefficients,
     decode_video,
     encode_video,
+    walk_dc_record,
 )
 from repro.codec.motion import compensate, motion_search
+from repro.codec.resync import (
+    DCSegment,
+    ResilientScanResult,
+    resilient_dc_scan,
+    resync_to_next_gop,
+)
 from repro.codec.quantize import (
     dequantize_block,
     quantization_matrix,
@@ -50,7 +57,9 @@ __all__ = [
     "BitWriter",
     "BitstreamReader",
     "BitstreamWriter",
+    "DCSegment",
     "EncodedVideo",
+    "ResilientScanResult",
     "assemble_blocks",
     "compensate",
     "dct2",
@@ -65,7 +74,10 @@ __all__ = [
     "pad_to_blocks",
     "quantization_matrix",
     "quantize_block",
+    "resilient_dc_scan",
+    "resync_to_next_gop",
     "split_into_blocks",
+    "walk_dc_record",
     "zigzag_indices",
     "zigzag_order",
     "zigzag_restore",

@@ -97,6 +97,15 @@ class BitstreamReader:
         """Whether every byte has been consumed."""
         return self._pos >= len(self._data)
 
+    def seek(self, offset: int) -> None:
+        """Jump to an absolute byte offset (the resync scanner's hook)."""
+        if not 0 <= offset <= len(self._data):
+            raise BitstreamError(
+                f"cannot seek to offset {offset} in a "
+                f"{len(self._data)}-byte stream"
+            )
+        self._pos = offset
+
     def read_magic(self) -> None:
         """Consume and verify the magic number."""
         found = self.read_bytes(len(MAGIC))

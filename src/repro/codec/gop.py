@@ -23,7 +23,7 @@ Two decoders are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,7 +42,13 @@ from repro.codec.quantize import dequantize_block, quantization_matrix, quantize
 from repro.codec.zigzag import zigzag_order, zigzag_restore
 from repro.errors import BitstreamError, CodecError
 
-__all__ = ["EncodedVideo", "decode_dc_coefficients", "decode_video", "encode_video"]
+__all__ = [
+    "EncodedVideo",
+    "decode_dc_coefficients",
+    "decode_video",
+    "encode_video",
+    "walk_dc_record",
+]
 
 
 @dataclass(frozen=True)
@@ -275,10 +281,24 @@ def encode_video(
     )
 
 
+#: Sanity ceilings applied to parsed headers. A flipped bit in a varint
+#: can turn a small field into an astronomically large one; decoding must
+#: fail with a typed :class:`BitstreamError` *before* any allocation is
+#: attempted, not with a numpy ``MemoryError``.
+_MAX_FRAME_SIDE = 1 << 14
+_MAX_BLOCK_SIZE = 256
+
+
 def _read_header(
     reader: BitstreamReader,
+    data_length: int = 0,
 ) -> Tuple[int, int, int, int, int, int, float, bool]:
-    """Parse magic + header, returning the eight header fields."""
+    """Parse magic + header, returning the eight header fields.
+
+    ``data_length`` (when non-zero) enables plausibility checks that
+    bound the claimed stream dimensions by what the byte string could
+    possibly encode — the typed-error guarantee for corrupt headers.
+    """
     reader.read_magic()
     width = reader.read_uvarint()
     height = reader.read_uvarint()
@@ -288,12 +308,83 @@ def _read_header(
     num_frames = reader.read_uvarint()
     fps = reader.read_uvarint() / 1000.0
     flags = reader.read_uvarint()
-    if block_size <= 0 or gop_size <= 0 or fps <= 0:
+    if width <= 0 or height <= 0 or block_size <= 0 or gop_size <= 0 or fps <= 0:
         raise BitstreamError("corrupt header: non-positive structural field")
+    if width > _MAX_FRAME_SIDE or height > _MAX_FRAME_SIDE:
+        raise BitstreamError(
+            f"corrupt header: implausible frame size {width}x{height}"
+        )
+    if block_size > _MAX_BLOCK_SIZE:
+        raise BitstreamError(
+            f"corrupt header: implausible block size {block_size}"
+        )
+    if not 1 <= quality <= 100:
+        raise BitstreamError(
+            f"corrupt header: quality {quality} outside [1, 100]"
+        )
     if flags > 1:
         raise BitstreamError(f"unknown format flags {flags}")
+    if data_length:
+        # Every frame record costs at least two bytes (type byte + block
+        # count), and every block at least two bits under entropy coding.
+        grid_blocks = (-(-width // block_size)) * (-(-height // block_size))
+        if num_frames > data_length:
+            raise BitstreamError(
+                f"corrupt header: {num_frames} frames cannot fit in "
+                f"{data_length} bytes"
+            )
+        if num_frames * grid_blocks > 8 * data_length:
+            raise BitstreamError(
+                "corrupt header: claimed block count exceeds what the "
+                "stream could encode"
+            )
     return (width, height, block_size, quality, gop_size, num_frames, fps,
             bool(flags & 1))
+
+
+def walk_dc_record(
+    reader: BitstreamReader,
+    num_blocks: int,
+    entropy: bool,
+) -> Tuple[bytes, Optional[List[int]]]:
+    """Walk exactly one frame record from the reader's current position.
+
+    Returns ``(frame_type, dc_levels)`` where ``dc_levels`` is the list
+    of per-block DC levels for an I frame and ``None`` for a skipped
+    predicted frame. Raises :class:`BitstreamError` if the record is
+    malformed, truncated, or its block count disagrees with
+    ``num_blocks`` — the primitive both the partial decoder and the
+    resync scanner (:mod:`repro.codec.resync`) are built on.
+    """
+    frame_type = reader.read_bytes(1)
+    if frame_type not in (b"I", b"P", b"M"):
+        raise BitstreamError(f"unknown frame type {frame_type!r}")
+    claimed = reader.read_uvarint()
+    if claimed != num_blocks:
+        raise BitstreamError(
+            f"expected {num_blocks} blocks, record claims {claimed}"
+        )
+    if frame_type == b"I":
+        dc_levels: List[int] = []
+        if entropy:
+            payload = reader.read_bytes(reader.read_uvarint())
+            bit_reader = BitReader(payload)
+            for _ in range(num_blocks):
+                dc_levels.append(skip_block_scan_keep_dc(bit_reader))
+        else:
+            for _ in range(num_blocks):
+                dc_levels.append(_skip_block_keep_dc(reader))
+        return frame_type, dc_levels
+    if entropy:
+        # The payload-length prefix is the slice resync marker: a
+        # predicted frame is skipped in one seek.
+        reader.read_bytes(reader.read_uvarint())
+    else:
+        for _ in range(num_blocks):
+            if frame_type == b"M":
+                reader.skip_uvarints(2)  # the block's motion vector
+            _skip_block(reader)
+    return frame_type, None
 
 
 def decode_video(encoded: EncodedVideo) -> np.ndarray:
@@ -304,7 +395,7 @@ def decode_video(encoded: EncodedVideo) -> np.ndarray:
     """
     reader = BitstreamReader(encoded.data)
     (width, height, block_size, quality, gop_size, num_frames, _fps,
-     entropy) = _read_header(reader)
+     entropy) = _read_header(reader, len(encoded.data))
     q_matrix = quantization_matrix(quality, block_size)
     frames = np.empty((num_frames, height, width), dtype=np.float64)
 
@@ -385,49 +476,22 @@ def decode_dc_coefficients(
     """
     reader = BitstreamReader(encoded.data)
     (width, height, block_size, quality, gop_size, num_frames, _fps,
-     entropy) = _read_header(reader)
+     entropy) = _read_header(reader, len(encoded.data))
     q_matrix = quantization_matrix(quality, block_size)
     dc_quant_step = float(q_matrix[0, 0])
     grid_cols = -(-width // block_size)
     grid_rows = -(-height // block_size)
+    num_blocks = grid_rows * grid_cols
 
     for frame_index in range(num_frames):
-        frame_type = reader.read_bytes(1)
-        num_blocks = reader.read_uvarint()
-        if num_blocks != grid_rows * grid_cols:
-            raise BitstreamError(
-                f"frame {frame_index}: expected {grid_rows * grid_cols} blocks, "
-                f"header claims {num_blocks}"
-            )
+        try:
+            frame_type, dc_levels = walk_dc_record(reader, num_blocks, entropy)
+        except BitstreamError as error:
+            raise BitstreamError(f"frame {frame_index}: {error}") from error
         if frame_type == b"I":
-            dc_levels: List[int] = []
-            if entropy:
-                payload = reader.read_bytes(reader.read_uvarint())
-                bit_reader = BitReader(payload)
-                for _ in range(num_blocks):
-                    dc_levels.append(skip_block_scan_keep_dc(bit_reader))
-            else:
-                for _ in range(num_blocks):
-                    dc_levels.append(_skip_block_keep_dc(reader))
+            assert dc_levels is not None
             dc_grid = (
                 np.asarray(dc_levels, dtype=np.float64).reshape(grid_rows, grid_cols)
                 * dc_quant_step
             )
             yield frame_index, dc_grid
-        elif frame_type == b"P":
-            if entropy:
-                # The payload-length prefix is the slice resync marker:
-                # a predicted frame is skipped in one seek.
-                reader.read_bytes(reader.read_uvarint())
-            else:
-                for _ in range(num_blocks):
-                    _skip_block(reader)
-        elif frame_type == b"M":
-            if entropy:
-                reader.read_bytes(reader.read_uvarint())
-            else:
-                for _ in range(num_blocks):
-                    reader.skip_uvarints(2)  # the block's motion vector
-                    _skip_block(reader)
-        else:
-            raise BitstreamError(f"unknown frame type {frame_type!r}")

@@ -179,6 +179,34 @@ class StreamingDetector:
             all_matches.extend(self.process_window(shifted))
         return all_matches
 
+    def acknowledge_gap(self, num_windows: int) -> None:
+        """Advance the window clock over ``num_windows`` skipped windows.
+
+        A decode-side gap (corrupt GOPs, dropped chunks) means whole
+        basic windows will never be sketched. Silently omitting them
+        would desynchronise every later window index and start frame
+        from the stream clock; acknowledging them keeps window indices
+        absolute, so candidate expiry and match positions stay correct.
+        Candidate state in the engines is untouched — the index jump is
+        observed by the engines on the next processed window, expiring
+        candidates across the gap exactly as elapsed stream time should.
+        """
+        if num_windows < 0:
+            raise DetectionError(
+                f"cannot acknowledge a negative gap ({num_windows} windows)"
+            )
+        if num_windows == 0:
+            return
+        stats = self.context.stats
+        if stats.partial_windows:
+            raise DetectionError(
+                "cannot acknowledge a gap after a partial basic window: "
+                "the stream already ended mid-window"
+            )
+        stats.windows_processed += num_windows
+        stats.frames_processed += num_windows * self.window_frames
+        stats.windows_skipped += num_windows
+
     # ------------------------------------------------------------------
     # online query maintenance
     # ------------------------------------------------------------------

@@ -47,6 +47,15 @@ class EngineStats:
     partial_windows:
         Number of windows shorter than the configured ``w`` (at most one
         per stream under the aligned-push contract).
+    windows_skipped:
+        Basic windows sacrificed to decode-side gaps: the stream clock
+        advanced over them (via
+        :meth:`~repro.core.detector.StreamingDetector.acknowledge_gap`)
+        but no cell ids were ever sketched for them.
+    frames_skipped:
+        Key frames lost to decode-side gaps, counting both frames that
+        never decoded and intact frames dropped because their basic
+        window overlapped a gap.
     sketch_comparisons:
         Full O(K) sketch-vs-sketch similarity evaluations (the
         ``C_comp`` of Eq. (4); in bit mode these only occur as lazy
@@ -79,6 +88,8 @@ class EngineStats:
         "windows_processed": "engine.windows_processed",
         "frames_processed": "stream.frames_processed",
         "partial_windows": "stream.partial_windows",
+        "windows_skipped": "stream.windows_skipped",
+        "frames_skipped": "stream.frames_skipped",
         "sketch_comparisons": "engine.sketch_comparisons",
         "sketch_combines": "engine.sketch_combines",
         "signature_encodes": "engine.signature_encodes",

@@ -86,6 +86,15 @@ class DetectionError(ReproError):
     """The streaming detection engine hit an inconsistent state."""
 
 
+class IngestError(ReproError):
+    """The multi-stream ingestion layer hit an inconsistent state.
+
+    Examples: a stream session fed chunks out of sequence, a degradation
+    policy of ``fail`` encountering a corrupt chunk, or a scheduler asked
+    to run with no streams.
+    """
+
+
 class WorkloadError(ReproError):
     """Workload construction (library clips, doctored streams) failed.
 

@@ -27,7 +27,12 @@ import numpy as np
 from repro.codec.gop import EncodedVideo, decode_dc_coefficients
 from repro.errors import FeatureError
 
-__all__ = ["block_means_from_encoded", "block_means_from_frames", "region_mean_grid"]
+__all__ = [
+    "block_means_from_dc_grids",
+    "block_means_from_encoded",
+    "block_means_from_frames",
+    "region_mean_grid",
+]
 
 
 def _fractional_region_sums(stack: np.ndarray, parts: int, axis: int) -> np.ndarray:
@@ -97,6 +102,31 @@ def block_means_from_frames(
     region_sums = _fractional_region_sums(row_sums, cols, axis=2)
     area = (height / rows) * (width / cols)
     return (region_sums / area).reshape(num_frames, rows * cols)
+
+
+def block_means_from_dc_grids(
+    dc_grids: List[np.ndarray],
+    block_size: int,
+    rows: int = 3,
+    cols: int = 3,
+) -> np.ndarray:
+    """Per-key-frame D-block mean luminance from pre-decoded DC grids.
+
+    The damage-tolerant scan (:func:`repro.codec.resync.resilient_dc_scan`)
+    hands back DC grids segment by segment rather than through the
+    one-shot partial decoder; this applies the identical DC-to-mean
+    conversion and fractional region averaging so recovered segments
+    fingerprint byte-for-byte like an undamaged decode.
+    """
+    if not dc_grids:
+        raise FeatureError("no DC grids to extract features from")
+    keyframe_means: List[np.ndarray] = []
+    for dc_grid in dc_grids:
+        block_mean_grid = np.asarray(dc_grid, dtype=np.float64) / block_size + 128.0
+        keyframe_means.append(
+            region_mean_grid(block_mean_grid, rows, cols).reshape(-1)
+        )
+    return np.vstack(keyframe_means)
 
 
 def block_means_from_encoded(

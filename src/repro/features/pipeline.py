@@ -17,6 +17,7 @@ import numpy as np
 from repro.codec.gop import EncodedVideo
 from repro.config import FingerprintConfig
 from repro.features.dc_extract import (
+    block_means_from_dc_grids,
     block_means_from_encoded,
     block_means_from_frames,
 )
@@ -101,3 +102,27 @@ class FingerprintExtractor:
     def cell_ids_from_encoded(self, encoded: EncodedVideo) -> np.ndarray:
         """Bitstream -> per-key-frame cell ids via the partial decoder."""
         return self.partitioner.cell_ids(self.features_from_encoded(encoded))
+
+    def features_from_dc_grids(
+        self, dc_grids: list, block_size: int
+    ) -> np.ndarray:
+        """Pre-decoded DC grids -> ``(n, d)`` normalised features.
+
+        Entry point for the damage-tolerant decode path
+        (:func:`repro.codec.resync.resilient_dc_scan`), which recovers DC
+        grids in segments instead of one bitstream walk. Produces exactly
+        the features :meth:`features_from_encoded` would for the same
+        key frames of an undamaged stream.
+        """
+        block_means = block_means_from_dc_grids(
+            dc_grids, block_size, self.config.block_rows, self.config.block_cols
+        )
+        return self.selector.apply(normalize_features(block_means))
+
+    def cell_ids_from_dc_grids(
+        self, dc_grids: list, block_size: int
+    ) -> np.ndarray:
+        """Pre-decoded DC grids -> 1-D grid-pyramid cell ids."""
+        return self.partitioner.cell_ids(
+            self.features_from_dc_grids(dc_grids, block_size)
+        )

@@ -1,0 +1,483 @@
+"""Multiplexing N stream sessions over a bounded detector pool.
+
+:class:`StreamScheduler` pairs each stream's source (possibly
+fault-wrapped) with its :class:`~repro.ingest.session.StreamSession` and
+drives them to completion under a scheduling policy:
+
+* ``ROUND_ROBIN`` — one chunk per stream per round; every stream makes
+  the same chunk-rate progress regardless of chunk size.
+* ``DEFICIT`` — deficit round robin: each stream accrues a per-round
+  quantum of key-frame credit (scaled by its weight) and processes
+  chunks while it has credit to pay their key-frame cost. Streams with
+  heavier chunks get proportionally fewer turns, equalising *frame*
+  throughput instead of chunk throughput.
+
+Chunks flow source → per-stream :class:`~repro.serve.queues.BoundedChannel`
+→ session. The channel is the backpressure surface: when a stream's
+queue is full its source is simply not pumped that round (the producer
+holds the data, nothing is dropped), and the stall is counted under
+``ingest.backpressure_waits``.
+
+Detector work runs on a :class:`DetectorPool`. ``pool_size=0`` processes
+chunks inline on the scheduler thread — fully deterministic, the
+reference for the equivalence suite. ``pool_size >= 1`` dispatches to
+worker threads with **at most one in-flight chunk per stream**, so each
+stream's chunks are still processed in order and its match stream is
+bit-for-bit identical to the inline schedule; only cross-stream
+interleaving changes.
+
+Chaos survival: a session raising any :class:`~repro.errors.ReproError`
+for a chunk marks that stream failed (counted under
+``ingest.chunk_failures``) without touching the scheduler loop — one
+poisoned stream can never stall the fleet.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import IngestError, ReproError
+from repro.ingest.session import StreamSession
+from repro.ingest.sources import StreamChunk, StreamSource
+from repro.obs.export import snapshot
+from repro.obs.registry import MetricsRegistry
+from repro.serve.queues import BackpressurePolicy, BoundedChannel
+
+__all__ = [
+    "ScheduledStream",
+    "SchedulingPolicy",
+    "StreamScheduler",
+]
+
+#: Schema tag of the scheduler's nested metrics snapshot.
+INGEST_SNAPSHOT_FORMAT = "repro.ingest/1"
+
+
+class SchedulingPolicy(enum.Enum):
+    """How the scheduler divides service among streams."""
+
+    ROUND_ROBIN = "round_robin"
+    DEFICIT = "deficit"
+
+
+@dataclass
+class ScheduledStream:
+    """One stream's scheduling state inside the scheduler."""
+
+    source: StreamSource
+    session: StreamSession
+    weight: float = 1.0
+    queue: BoundedChannel = field(default_factory=lambda: BoundedChannel(4))
+    iterator: Optional[object] = None
+    exhausted: bool = False
+    finished: bool = False
+    failed: bool = False
+    deficit: float = 0.0
+    in_flight: bool = False
+
+    @property
+    def stream_id(self) -> int:
+        return self.source.stream_id
+
+
+class DetectorPool:
+    """A bounded pool of detector worker threads.
+
+    ``size=0`` is the synchronous mode: :meth:`submit` runs the chunk
+    inline and :meth:`drain` is a no-op. With workers, tasks enter a
+    bounded channel (blocking the scheduler when all workers are busy —
+    the pool is the global ingestion rate limiter) and results return on
+    a stdlib queue the scheduler drains between rounds.
+    """
+
+    _STOP = object()
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise IngestError(f"pool size cannot be negative ({size})")
+        self.size = size
+        self._tasks: Optional[BoundedChannel] = None
+        self._results: "queue_module.Queue" = queue_module.Queue()
+        self._threads: List[threading.Thread] = []
+        if size > 0:
+            self._tasks = BoundedChannel(max(2, 2 * size))
+            for index in range(size):
+                thread = threading.Thread(
+                    target=self._worker, name=f"ingest-pool-{index}", daemon=True
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def _worker(self) -> None:
+        assert self._tasks is not None
+        while True:
+            task = self._tasks.get()
+            if task is self._STOP:
+                return
+            stream, chunk = task
+            try:
+                stream.session.process_chunk(chunk)
+                self._results.put((stream, chunk, None))
+            except ReproError as error:
+                self._results.put((stream, chunk, error))
+
+    def submit(self, stream: ScheduledStream, chunk: StreamChunk):
+        """Run or enqueue one chunk; inline mode returns its error."""
+        if self._tasks is None:
+            try:
+                stream.session.process_chunk(chunk)
+            except ReproError as error:
+                return error
+            return None
+        stream.in_flight = True
+        self._tasks.put((stream, chunk), BackpressurePolicy.BLOCK)
+        return None
+
+    def poll(self, timeout: float = 0.0):
+        """Collect finished tasks: list of (stream, chunk, error)."""
+        results = []
+        while True:
+            try:
+                if timeout and not results:
+                    results.append(self._results.get(timeout=timeout))
+                else:
+                    results.append(self._results.get_nowait())
+            except queue_module.Empty:
+                return results
+
+    def shutdown(self) -> None:
+        if self._tasks is not None:
+            for _ in self._threads:
+                self._tasks.put(self._STOP, BackpressurePolicy.BLOCK)
+            for thread in self._threads:
+                thread.join()
+            self._threads = []
+
+
+class StreamScheduler:
+    """Drive N sessions from N sources under one scheduling policy.
+
+    Parameters
+    ----------
+    streams:
+        ``(source, session)`` pairs (sessions already configured).
+        Sources may be fault-wrapped; sessions and sources must agree on
+        stream ids.
+    policy:
+        Service discipline across streams.
+    pool_size:
+        Detector worker threads; 0 = inline (deterministic reference).
+    queue_capacity:
+        Per-stream chunk queue bound (the backpressure surface).
+    quantum:
+        DEFICIT only: key frames of credit per stream per round, before
+        weight scaling.
+    weights:
+        DEFICIT only: per-stream-id service weights (default 1.0).
+    realtime_stalls:
+        Sleep injected stall times instead of only accounting them.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[tuple],
+        policy: SchedulingPolicy = SchedulingPolicy.ROUND_ROBIN,
+        pool_size: int = 0,
+        queue_capacity: int = 4,
+        quantum: float = 0.0,
+        weights: Optional[Dict[int, float]] = None,
+        realtime_stalls: bool = False,
+    ) -> None:
+        if not streams:
+            raise IngestError("scheduler needs at least one stream")
+        if queue_capacity < 1:
+            raise IngestError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        self.policy = policy
+        self.pool_size = pool_size
+        self.realtime_stalls = realtime_stalls
+        self.registry = MetricsRegistry()
+        self.streams: List[ScheduledStream] = []
+        seen_ids = set()
+        for source, session in streams:
+            if source.stream_id != session.stream_id:
+                raise IngestError(
+                    f"source stream {source.stream_id} paired with "
+                    f"session for stream {session.stream_id}"
+                )
+            if source.stream_id in seen_ids:
+                raise IngestError(
+                    f"duplicate stream id {source.stream_id}"
+                )
+            seen_ids.add(source.stream_id)
+            weight = (weights or {}).get(source.stream_id, 1.0)
+            if weight <= 0:
+                raise IngestError(
+                    f"stream {source.stream_id} weight must be positive, "
+                    f"got {weight}"
+                )
+            self.streams.append(
+                ScheduledStream(
+                    source=source,
+                    session=session,
+                    weight=weight,
+                    queue=BoundedChannel(queue_capacity),
+                )
+            )
+        # DRR needs a quantum at least as large as the costliest chunk
+        # or heavy streams wait many rounds to accrue enough credit.
+        # Chunk sizes are unknown up front, so the effective quantum is
+        # max(configured, largest head cost seen so far).
+        self.quantum = quantum if quantum > 0 else 1.0
+        self._max_cost = 1.0
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _metric(self, name: str, stream_id: int) -> str:
+        return f"ingest.{name}.s{stream_id}"
+
+    def _pump(self, stream: ScheduledStream) -> None:
+        """Move chunks source -> queue while there is room.
+
+        A full queue leaves the source untouched: that *is* the
+        backpressure (the producer keeps the data), and it is counted.
+        """
+        if stream.exhausted:
+            return
+        if stream.iterator is None:
+            stream.iterator = iter(stream.source)
+        while len(stream.queue) < stream.queue.capacity:
+            try:
+                chunk = next(stream.iterator)
+            except StopIteration:
+                stream.exhausted = True
+                return
+            stream.queue.put(chunk, BackpressurePolicy.BLOCK)
+        self.registry.inc(
+            self._metric("backpressure_waits", stream.stream_id)
+        )
+
+    def _take(self, stream: ScheduledStream) -> Optional[StreamChunk]:
+        if len(stream.queue) == 0:
+            return None
+        return stream.queue.get()
+
+    def _account_stall(self, stream: ScheduledStream, chunk: StreamChunk):
+        if chunk.stall_seconds:
+            self.registry.inc(
+                self._metric("stalled_chunks", stream.stream_id)
+            )
+            name = self._metric("stall_seconds", stream.stream_id)
+            self.registry.set_gauge(
+                name, self.registry.gauge(name) + chunk.stall_seconds
+            )
+            if self.realtime_stalls:
+                time.sleep(chunk.stall_seconds)
+
+    def _dispatch(
+        self, pool: DetectorPool, stream: ScheduledStream, chunk: StreamChunk
+    ) -> None:
+        self._account_stall(stream, chunk)
+        error = pool.submit(stream, chunk)
+        if error is not None:
+            self._record_failure(stream, error)
+
+    def _record_failure(self, stream: ScheduledStream, error) -> None:
+        self.registry.inc(
+            self._metric("chunk_failures", stream.stream_id)
+        )
+        if stream.session.failed or isinstance(error, IngestError):
+            # FAIL-policy sessions are quarantined: drain their source
+            # without processing so the fleet keeps moving.
+            stream.failed = True
+
+    def _collect(self, pool: DetectorPool, block: bool) -> None:
+        timeout = 0.05 if block else 0.0
+        for stream, _chunk, error in pool.poll(timeout):
+            stream.in_flight = False
+            if error is not None:
+                self._record_failure(stream, error)
+
+    def _active(self) -> List[ScheduledStream]:
+        return [
+            stream
+            for stream in self.streams
+            if not stream.finished
+        ]
+
+    def _stream_done(self, stream: ScheduledStream) -> bool:
+        return (
+            stream.exhausted
+            and len(stream.queue) == 0
+            and not stream.in_flight
+        )
+
+    def _finish_stream(self, stream: ScheduledStream) -> None:
+        if not stream.failed:
+            try:
+                stream.session.finish()
+            except ReproError as error:
+                self._record_failure(stream, error)
+        stream.finished = True
+
+    def _serve_round_robin(
+        self, pool: DetectorPool, active: List[ScheduledStream]
+    ) -> int:
+        served = 0
+        for stream in active:
+            if stream.in_flight:
+                continue
+            chunk = self._take(stream)
+            if chunk is None:
+                continue
+            if stream.failed:
+                served += 1  # drained, not processed
+                continue
+            self._dispatch(pool, stream, chunk)
+            served += 1
+        return served
+
+    def _serve_deficit(
+        self, pool: DetectorPool, active: List[ScheduledStream]
+    ) -> int:
+        served = 0
+        for stream in active:
+            if stream.in_flight:
+                continue
+            stream.deficit += max(self.quantum, self._max_cost) * stream.weight
+            while True:
+                head = stream.queue.peek()
+                if head is None:
+                    # Nothing waiting: credit does not bank across idle
+                    # rounds (classic DRR resets an empty flow).
+                    stream.deficit = 0.0
+                    break
+                head_cost = float(head.expected_keyframes or 1)
+                self._max_cost = max(self._max_cost, head_cost)
+                if head_cost > stream.deficit:
+                    break
+                chunk = self._take(stream)
+                stream.deficit -= head_cost
+                if stream.failed:
+                    served += 1
+                    continue
+                self._dispatch(pool, stream, chunk)
+                served += 1
+                if stream.in_flight:
+                    break  # one in-flight chunk per stream
+        return served
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> Dict[int, List]:
+        """Drive every stream to completion; returns matches by stream.
+
+        The loop survives any per-chunk :class:`~repro.errors.ReproError`
+        (counted, stream quarantined under the fail policy) — an
+        unhandled exception here is a bug, and the chaos suite asserts
+        there are none.
+        """
+        pool = DetectorPool(self.pool_size)
+        wait_rounds = self.registry.distribution("ingest.scheduler_wait")
+        try:
+            while True:
+                active = self._active()
+                if not active:
+                    break
+                for stream in active:
+                    self._pump(stream)
+                if self.policy is SchedulingPolicy.DEFICIT:
+                    served = self._serve_deficit(pool, active)
+                else:
+                    served = self._serve_round_robin(pool, active)
+                waiting = served == 0 and any(
+                    stream.in_flight for stream in active
+                )
+                self._collect(pool, block=waiting)
+                wait_rounds.add(0.0 if served else 1.0)
+                self.rounds += 1
+                for stream in active:
+                    if self._stream_done(stream):
+                        self._finish_stream(stream)
+        finally:
+            pool.shutdown()
+        return {
+            stream.stream_id: list(stream.session.matches)
+            for stream in self.streams
+        }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def reconciliation(self) -> Dict[str, int]:
+        """Fleet-wide frame accounting (the chaos-survival invariant).
+
+        ``offered == decoded + damaged + missing + dropped_in_flight``
+        whenever every chunk is uniform (``chunk_keyframes_hint`` set)
+        and no stream was quarantined mid-flight; quarantined streams
+        surface the shortfall under ``unprocessed``.
+        """
+        offered = decoded = damaged = missing = filled = 0
+        expected = 0
+        for stream in self.streams:
+            counter = stream.session.registry.counter
+            offered += stream.source.keyframes_offered
+            expected += counter("ingest.frames_expected")
+            decoded += counter("ingest.frames_decoded")
+            damaged += counter("ingest.frames_damaged")
+            missing += counter("ingest.frames_missing")
+            filled += counter("ingest.frames_filled")
+        dropped = sum(
+            getattr(stream.source, "keyframes_dropped", 0)
+            for stream in self.streams
+        )
+        duplicated = sum(
+            getattr(stream.source, "chunks_duplicated", 0)
+            for stream in self.streams
+        )
+        return {
+            "frames_offered": offered,
+            "frames_expected": expected,
+            "frames_decoded": decoded,
+            "frames_damaged": damaged,
+            "frames_missing": missing,
+            "frames_filled": filled,
+            "frames_dropped_in_flight": dropped,
+            "chunks_duplicated_in_flight": duplicated,
+            # Every offered frame is either decoded/damaged inside a
+            # processed chunk (expected), lost with a dropped chunk, or
+            # still unaccounted (quarantined stream, trailing drop).
+            "unprocessed": offered - expected - dropped,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Nested ``repro.ingest/1`` snapshot: scheduler + per-stream.
+
+        Per-stream ``engine.*`` counters describe *different* streams,
+        so they are nested rather than merged — unlike ``repro.serve``,
+        whose shards replicate one stream.
+        """
+        return {
+            "schema": INGEST_SNAPSHOT_FORMAT,
+            "policy": self.policy.value,
+            "pool_size": self.pool_size,
+            "rounds": self.rounds,
+            "scheduler": snapshot(self.registry),
+            "streams": {
+                str(stream.stream_id): snapshot(stream.session.registry)
+                for stream in self.streams
+            },
+            "reconciliation": self.reconciliation(),
+        }

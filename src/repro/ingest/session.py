@@ -1,0 +1,278 @@
+"""Per-stream detection sessions.
+
+A :class:`StreamSession` is the unit the scheduler multiplexes: one
+stream's :class:`~repro.core.detector.StreamingDetector` +
+:class:`~repro.core.live.LiveMonitor` + :class:`ResilientDecoder`, glued
+to a degradation policy and an ``ingest.*`` metric namespace in the
+session's own :class:`~repro.obs.registry.MetricsRegistry` (sessions
+never share a registry — their ``engine.*`` counters describe different
+streams and must not merge).
+
+The frame-accounting contract, which the chaos tests reconcile:
+
+    frames offered by the source
+        = frames pushed to the detector
+        + frames skipped / filled (damage)
+        + frames dropped in flight (injector) or behind a seq gap
+
+Sessions checkpoint through :class:`repro.serve.CheckpointManager` — a
+one-worker :class:`~repro.serve.checkpoint.ServiceCheckpoint` with
+strategy ``"ingest"`` — so the serving layer's atomic-write/restore
+machinery, format tag and config verification are reused unchanged.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.config import DetectorConfig
+from repro.core.detector import StreamingDetector
+from repro.core.live import LiveMonitor
+from repro.core.query import QuerySet
+from repro.core.results import Match
+from repro.errors import IngestError
+from repro.features.pipeline import FingerprintExtractor
+from repro.ingest.decoder import DegradationPolicy, ResilientDecoder
+from repro.ingest.sources import StreamChunk
+from repro.obs.registry import MetricsRegistry
+from repro.serve.checkpoint import CheckpointManager, ServiceCheckpoint
+from repro.serve.state import restore_worker_state, worker_state
+
+__all__ = ["StreamSession"]
+
+
+class StreamSession:
+    """One stream's detector state behind a degradation policy.
+
+    Parameters
+    ----------
+    stream_id:
+        The stream this session owns.
+    config, queries, keyframes_per_second:
+        Detector construction parameters (the queries are shared
+        read-only across sessions in a scheduler).
+    extractor:
+        Fingerprint pipeline for encoded / raw-frame chunks; optional
+        when the stream delivers pre-extracted cell ids.
+    policy:
+        What to do with undecodable key frames (see
+        :class:`~repro.ingest.decoder.DegradationPolicy`).
+    fill_cell_id:
+        The substitute cell id used by ``ZERO_FILL``.
+    chunk_keyframes_hint:
+        Expected key frames per chunk. When positive, a sequence-number
+        gap (chunks lost in flight) advances the window clock by
+        ``gap * hint`` frames; when zero, lost chunks are only counted
+        (``ingest.chunks_missing``) and the clock keeps running on
+        delivered content.
+    cap_hint:
+        Candidate-expiry floor forwarded to the detector.
+    """
+
+    def __init__(
+        self,
+        stream_id: int,
+        config: DetectorConfig,
+        queries: QuerySet,
+        keyframes_per_second: float,
+        extractor: Optional[FingerprintExtractor] = None,
+        policy: DegradationPolicy = DegradationPolicy.SKIP_WINDOW,
+        fill_cell_id: int = 0,
+        chunk_keyframes_hint: int = 0,
+        cap_hint: int = 0,
+    ) -> None:
+        self.stream_id = stream_id
+        self.config = config
+        self.queries = queries
+        self.keyframes_per_second = keyframes_per_second
+        self.policy = policy
+        self.fill_cell_id = int(fill_cell_id)
+        self.chunk_keyframes_hint = int(chunk_keyframes_hint)
+        self.registry = MetricsRegistry()
+        self.detector = StreamingDetector(
+            config,
+            queries,
+            keyframes_per_second,
+            registry=self.registry,
+            cap_hint=cap_hint,
+        )
+        self.monitor = LiveMonitor(self.detector, extractor)
+        self.decoder = ResilientDecoder(extractor)
+        self.matches: List[Match] = []
+        self.failed = False
+        self._last_seq = -1
+        for name in (
+            "ingest.chunks_processed",
+            "ingest.chunks_duplicate",
+            "ingest.chunks_missing",
+            "ingest.frames_expected",
+            "ingest.frames_decoded",
+            "ingest.frames_damaged",
+            "ingest.frames_filled",
+            "ingest.frames_missing",
+            "ingest.decode_errors",
+            "ingest.resyncs",
+            "ingest.header_losses",
+            "ingest.matches",
+        ):
+            self.registry.inc(name, 0)
+
+    # ------------------------------------------------------------------
+    # chunk processing
+    # ------------------------------------------------------------------
+
+    @property
+    def chunks_ingested(self) -> int:
+        """Stream position: highest sequence number seen, plus one."""
+        return self._last_seq + 1
+
+    def _acknowledge_missing(self, gap_chunks: int) -> None:
+        inc = self.registry.inc
+        inc("ingest.chunks_missing", gap_chunks)
+        if self.chunk_keyframes_hint > 0:
+            missing = gap_chunks * self.chunk_keyframes_hint
+            inc("ingest.frames_missing", missing)
+            self.monitor.skip_frames(missing)
+
+    def process_chunk(self, chunk: StreamChunk) -> List[Match]:
+        """Feed one chunk; returns the matches it produced.
+
+        Out-of-order and duplicate deliveries (sequence number at or
+        below the last processed one) are dropped and counted. A
+        sequence gap is acknowledged before the chunk is processed so
+        the window clock never drifts past real content.
+        """
+        if chunk.stream_id != self.stream_id:
+            raise IngestError(
+                f"session for stream {self.stream_id} received a chunk "
+                f"of stream {chunk.stream_id}"
+            )
+        inc = self.registry.inc
+        if chunk.seq <= self._last_seq:
+            inc("ingest.chunks_duplicate")
+            return []
+        gap_chunks = chunk.seq - self._last_seq - 1
+        if gap_chunks > 0:
+            self._acknowledge_missing(gap_chunks)
+        self._last_seq = chunk.seq
+        inc("ingest.chunks_processed")
+
+        with self.registry.phase("phase.ingest_decode"):
+            decoded = self.decoder.decode_chunk(chunk)
+        inc("ingest.frames_expected", decoded.expected_keyframes)
+        inc("ingest.frames_decoded", decoded.keyframes_decoded)
+        inc("ingest.frames_damaged", decoded.keyframes_damaged)
+        inc("ingest.decode_errors", decoded.decode_errors)
+        inc("ingest.resyncs", decoded.resyncs)
+        if decoded.header_lost:
+            inc("ingest.header_losses")
+
+        if self.policy is DegradationPolicy.FAIL and not decoded.clean:
+            self.failed = True
+            raise IngestError(
+                f"stream {self.stream_id} chunk {chunk.seq}: "
+                f"{decoded.keyframes_damaged} of "
+                f"{decoded.expected_keyframes} key frames undecodable "
+                f"under the fail policy"
+            )
+
+        matches: List[Match] = []
+        if self.policy is DegradationPolicy.ZERO_FILL:
+            filled = decoded.expected_keyframes - decoded.keyframes_decoded
+            ids = np.full(
+                decoded.expected_keyframes, self.fill_cell_id, dtype=np.int64
+            )
+            for start, segment_ids in decoded.segments:
+                ids[start : start + segment_ids.shape[0]] = segment_ids
+            if filled:
+                inc("ingest.frames_filled", filled)
+            matches.extend(self.monitor.push_cell_ids(ids))
+        else:  # SKIP_WINDOW
+            position = 0
+            for start, segment_ids in decoded.segments:
+                if start > position:
+                    self.monitor.skip_frames(start - position)
+                matches.extend(self.monitor.push_cell_ids(segment_ids))
+                position = start + segment_ids.shape[0]
+            if position < decoded.expected_keyframes:
+                self.monitor.skip_frames(
+                    decoded.expected_keyframes - position
+                )
+        if matches:
+            inc("ingest.matches", len(matches))
+            self.matches.extend(matches)
+        return matches
+
+    def finish(self) -> List[Match]:
+        """Flush the trailing partial window at end of stream."""
+        matches = self.monitor.flush()
+        if matches:
+            self.registry.inc("ingest.matches", len(matches))
+            self.matches.extend(matches)
+        return matches
+
+    # ------------------------------------------------------------------
+    # checkpointing (via repro.serve)
+    # ------------------------------------------------------------------
+
+    def checkpoint(
+        self,
+        manager: CheckpointManager,
+        path: Union[str, pathlib.Path, None] = None,
+    ) -> pathlib.Path:
+        """Snapshot this session as a one-worker service checkpoint."""
+        snapshot = ServiceCheckpoint(
+            config=self.config,
+            keyframes_per_second=self.keyframes_per_second,
+            chunks_ingested=self.chunks_ingested,
+            cap_hint=0,
+            strategy="ingest",
+            worker_queries=[self.queries],
+            worker_states=[worker_state(self.detector, self.monitor)],
+            matches=list(self.matches),
+        )
+        return manager.save(snapshot, path)
+
+    @classmethod
+    def restore(
+        cls,
+        manager: CheckpointManager,
+        stream_id: int,
+        config: DetectorConfig,
+        extractor: Optional[FingerprintExtractor] = None,
+        policy: DegradationPolicy = DegradationPolicy.SKIP_WINDOW,
+        fill_cell_id: int = 0,
+        chunk_keyframes_hint: int = 0,
+        path: Union[str, pathlib.Path, None] = None,
+    ) -> "StreamSession":
+        """Rebuild a session from its latest (or given) checkpoint.
+
+        The caller re-feeds the stream from ``session.chunks_ingested``;
+        earlier chunks are deduplicated by sequence number, so replaying
+        from chunk 0 is safe (if wasteful).
+        """
+        snapshot = manager.load(path, expected_config=config)
+        if snapshot.num_workers != 1 or snapshot.strategy != "ingest":
+            raise IngestError(
+                f"checkpoint holds a {snapshot.num_workers}-worker "
+                f"{snapshot.strategy!r} service, not an ingest session"
+            )
+        session = cls(
+            stream_id=stream_id,
+            config=snapshot.config,
+            queries=snapshot.worker_queries[0],
+            keyframes_per_second=snapshot.keyframes_per_second,
+            extractor=extractor,
+            policy=policy,
+            fill_cell_id=fill_cell_id,
+            chunk_keyframes_hint=chunk_keyframes_hint,
+        )
+        restore_worker_state(
+            session.detector, session.monitor, snapshot.worker_states[0]
+        )
+        session.matches = list(snapshot.matches)
+        session._last_seq = snapshot.chunks_ingested - 1
+        return session

@@ -55,6 +55,8 @@ REPLICATED_COUNTERS = frozenset(
         "engine.windows_processed",
         "stream.frames_processed",
         "stream.partial_windows",
+        "stream.windows_skipped",
+        "stream.frames_skipped",
         "engine.index_probes",
         "engine.expired_candidates",
         "engine.sketch_combines",

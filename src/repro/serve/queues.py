@@ -134,6 +134,15 @@ class BoundedChannel:
             self._not_full.notify()
             return item
 
+    def peek(self) -> Optional[object]:
+        """The oldest item without removing it (None when empty).
+
+        Deficit-weighted scheduling (``repro.ingest``) must price a
+        chunk before deciding whether the stream's credit covers it.
+        """
+        with self._lock:
+            return self._items[0] if self._items else None
+
 
 def put_with_policy(
     target: "queue_module.Queue",

@@ -451,11 +451,12 @@ def worker_state(
         engine_state = _scalar_sequential_state(detector.engine)
     else:
         engine_state = _scalar_geometric_state(detector.engine)
-    pending, flushed = monitor.buffer_state()
+    pending, flushed, skip_remaining = monitor.buffer_state()
     state: Dict[str, np.ndarray] = {
         "kind": _object_array([kind]),
         "pending": pending,
         "flushed": np.asarray([int(flushed)]),
+        "monitor_skip": np.asarray([int(skip_remaining)]),
         **engine_state,
         **_registry_state(detector.registry),
     }
@@ -489,4 +490,9 @@ def restore_worker_state(
     else:
         _restore_scalar_geometric(detector.engine, state)
     _restore_registry(detector.registry, state)
-    monitor.restore_buffer(state["pending"], bool(int(state["flushed"][0])))
+    # "monitor_skip" is absent from checkpoints written before the
+    # ingestion layer existed; those monitors had no gap in flight.
+    skip = int(state["monitor_skip"][0]) if "monitor_skip" in state else 0
+    monitor.restore_buffer(
+        state["pending"], bool(int(state["flushed"][0])), skip
+    )

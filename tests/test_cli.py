@@ -104,3 +104,42 @@ class TestCommands:
         assert "precision:" in output
         assert "recall:" in output
         assert "cpu_seconds:" in output
+
+
+class TestIngestCommand:
+    def test_ingest_defaults(self):
+        args = build_parser().parse_args(["ingest"])
+        assert args.streams == 3
+        assert args.faults == "light"
+        assert args.policy == "round_robin"
+        assert args.degrade == "skip_window"
+        assert args.pool == 0
+
+    def test_ingest_rejects_bad_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ingest", "--faults", "extreme"])
+
+    def test_ingest_clean_run(self, capsys, tmp_path):
+        metrics = tmp_path / "ingest.json"
+        exit_code = main([
+            "ingest", "--streams", "2", "--chunks", "4",
+            "--faults", "none", "--metrics-out", str(metrics),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Ingestion report" in output
+        assert "unprocessed=0" in output
+        import json
+
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["schema"] == "repro.ingest/1"
+        assert len(snapshot["streams"]) == 2
+        assert snapshot["reconciliation"]["unprocessed"] == 0
+
+    def test_ingest_chaos_run_survives(self, capsys):
+        exit_code = main([
+            "ingest", "--streams", "2", "--chunks", "5",
+            "--faults", "heavy", "--policy", "deficit", "--pool", "2",
+        ])
+        assert exit_code == 0
+        assert "Ingestion report" in capsys.readouterr().out
