@@ -1,0 +1,234 @@
+"""Query-churn benchmark: subscribe/unsubscribe latency and throughput.
+
+Measures the cost of the hot query lifecycle on the sharded service:
+
+* **subscribe / unsubscribe latency** — wall-clock of one epoch-barrier
+  round trip (`DetectionService.subscribe` / `.unsubscribe`): the
+  lifecycle message rides the same bounded channels as chunks and the
+  service waits for every shard's acknowledgement, so the latency is
+  the price of keeping all shards on the same chunk boundary. Reported
+  as mean milliseconds over a burst of churn ops.
+* **steady-state throughput vs query count** — key frames/second
+  through `DetectionService.run` after the burst, across query-set
+  sizes, so the cost of each admitted query is visible.
+
+Every configuration applies the identical churn sequence, so the match
+count must agree across worker counts and backends for a given query
+count — the bench enforces that invariant the same way
+``bench_serve_scaling.py`` enforces shard transparency.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query_churn.py [--quick]
+
+Writes ``BENCH_CHURN.json`` at the repository root (override with
+``--output``). Standalone CLI, not a pytest module; the rows feed
+docs/serving.md and the CI serve-smoke step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import DetectorConfig
+from repro.core.query import Query, QuerySet
+from repro.minhash.family import MinHashFamily
+from repro.serve import DetectionService
+
+BENCH_SEED = 20080407  # ICDE 2008 in Cancún
+KEYFRAMES_PER_SECOND = 2.0
+WINDOW_SECONDS = 5.0
+TEMPO_SCALE = 2.0
+THRESHOLD = 0.7
+CELL_ID_SPACE = 40_960
+QUERY_SECONDS = (40.0, 60.0)
+CHUNK_WINDOWS = 8
+
+
+def build_workload(rng: np.random.Generator, num_queries: int,
+                   num_churn: int, stream_frames: int):
+    """Initial query cell ids, a churn burst of extra queries, chunks."""
+    frames_min = int(QUERY_SECONDS[0] * KEYFRAMES_PER_SECOND)
+    frames_max = int(QUERY_SECONDS[1] * KEYFRAMES_PER_SECOND)
+    cell_ids: Dict[int, np.ndarray] = {}
+    frame_counts: Dict[int, int] = {}
+    for qid in range(num_queries + num_churn):
+        n = int(rng.integers(frames_min, frames_max + 1))
+        cell_ids[qid] = rng.integers(0, CELL_ID_SPACE, size=n)
+        frame_counts[qid] = n
+    stream = rng.integers(0, CELL_ID_SPACE, size=stream_frames)
+    for qid in (0, num_queries):  # one resident copy, one hot-query copy
+        copy = np.asarray(cell_ids[qid])
+        at = int(rng.integers(0, stream_frames - copy.size))
+        stream[at : at + copy.size] = copy
+    window_frames = max(1, round(WINDOW_SECONDS * KEYFRAMES_PER_SECOND))
+    chunk_frames = CHUNK_WINDOWS * window_frames
+    chunks = [
+        stream[offset : offset + chunk_frames]
+        for offset in range(0, stream_frames, chunk_frames)
+    ]
+    return cell_ids, frame_counts, chunks
+
+
+def run_churn(config, family, cell_ids, frame_counts, chunks,
+              num_queries, num_churn, workers, backend):
+    """One pass: warm-up chunk, subscribe burst, timed stream, unsubscribe
+    burst, flush. Returns latency/throughput/match figures."""
+    resident = QuerySet.from_cell_ids(
+        {qid: cell_ids[qid] for qid in range(num_queries)},
+        {qid: frame_counts[qid] for qid in range(num_queries)},
+        family,
+    )
+    service = DetectionService(
+        config, resident, KEYFRAMES_PER_SECOND,
+        num_workers=workers, backend=backend,
+    )
+    try:
+        service.run(chunks[:1], flush=False)  # warm caches + channels
+
+        subscribe_s = []
+        for qid in range(num_queries, num_queries + num_churn):
+            distinct = np.unique(np.asarray(cell_ids[qid], dtype=np.int64))
+            query = Query(qid=qid, cell_ids=distinct,
+                          num_frames=frame_counts[qid],
+                          sketch=family.sketch(distinct))
+            start = time.perf_counter()
+            service.subscribe(query)
+            subscribe_s.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        service.run(chunks[1:], flush=False)
+        elapsed = time.perf_counter() - start
+
+        unsubscribe_s = []
+        for qid in reversed(range(num_queries, num_queries + num_churn)):
+            start = time.perf_counter()
+            service.unsubscribe(qid)
+            unsubscribe_s.append(time.perf_counter() - start)
+
+        service.flush()
+        matches = len(service.matches)
+    finally:
+        service.close()
+    frames = sum(len(chunk) for chunk in chunks[1:])
+    return {
+        "matches": matches,
+        "subscribe_ms": 1e3 * float(np.mean(subscribe_s)),
+        "unsubscribe_ms": 1e3 * float(np.mean(unsubscribe_s)),
+        "frames_per_sec": frames / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small stream, fewer query counts, one repeat",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_CHURN.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per configuration (best throughput is kept)",
+    )
+    args = parser.parse_args(argv)
+
+    query_counts = [4, 8] if args.quick else [8, 16, 32]
+    num_churn = 4 if args.quick else 8
+    stream_frames = 800 if args.quick else 3200
+    repeats = args.repeats or (1 if args.quick else 3)
+    worker_counts = [1, 2] if args.quick else [1, 2, 4]
+    backends = ["serial"] if args.quick else ["serial", "process"]
+
+    config = DetectorConfig(
+        num_hashes=128 if args.quick else 256,
+        threshold=THRESHOLD,
+        window_seconds=WINDOW_SECONDS,
+        tempo_scale=TEMPO_SCALE,
+    )
+    family = MinHashFamily(num_hashes=config.num_hashes, seed=BENCH_SEED)
+
+    results: List[Dict[str, object]] = []
+    for num_queries in query_counts:
+        rng = np.random.default_rng(BENCH_SEED + num_queries)
+        cell_ids, frame_counts, chunks = build_workload(
+            rng, num_queries, num_churn, stream_frames
+        )
+        reference_matches = None
+        for backend in backends:
+            for workers in worker_counts:
+                best = None
+                for _ in range(repeats):
+                    sample = run_churn(
+                        config, family, cell_ids, frame_counts, chunks,
+                        num_queries, num_churn, workers, backend,
+                    )
+                    if best is None or (
+                        sample["frames_per_sec"] > best["frames_per_sec"]
+                    ):
+                        best = sample
+                if reference_matches is None:
+                    reference_matches = best["matches"]
+                elif best["matches"] != reference_matches:
+                    raise SystemExit(
+                        f"{backend}/w={workers}/Q={num_queries} found "
+                        f"{best['matches']} matches, reference "
+                        f"{reference_matches} — churn equivalence violated"
+                    )
+                results.append({
+                    "backend": backend,
+                    "workers": workers,
+                    "num_queries": num_queries,
+                    "num_churn_ops": num_churn,
+                    **best,
+                })
+                print(f"{backend:>8s} w={workers} Q={num_queries:<3d} "
+                      f"sub {best['subscribe_ms']:>7.2f} ms  "
+                      f"unsub {best['unsubscribe_ms']:>7.2f} ms  "
+                      f"{best['frames_per_sec']:>9.1f} frames/s "
+                      f"({best['matches']} matches)")
+
+    report = {
+        "benchmark": "query_churn",
+        "seed": BENCH_SEED,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workload": {
+            "keyframes_per_second": KEYFRAMES_PER_SECOND,
+            "window_seconds": WINDOW_SECONDS,
+            "tempo_scale": TEMPO_SCALE,
+            "threshold": THRESHOLD,
+            "num_hashes": config.num_hashes,
+            "query_counts": query_counts,
+            "num_churn_ops": num_churn,
+            "stream_frames": stream_frames,
+            "chunk_windows": CHUNK_WINDOWS,
+            "query_seconds": list(QUERY_SECONDS),
+            "repeats": repeats,
+        },
+        "results": results,
+    }
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -150,6 +150,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resume", action="store_true",
                        help="resume from the latest snapshot in "
                        "--checkpoint-dir")
+    serve.add_argument("--subscribe-at", action="append", default=[],
+                       metavar="WINDOW:QUERYFILE",
+                       help="subscribe every query in the "
+                       "repro.persistence query-set file QUERYFILE at "
+                       "the chunk barrier after WINDOW chunks "
+                       "(0 = before the first chunk; repeatable; on "
+                       "--resume, barriers the checkpoint already "
+                       "contains are skipped)")
+    serve.add_argument("--unsubscribe-at", action="append", default=[],
+                       metavar="WINDOW:QID",
+                       help="unsubscribe query QID at the chunk barrier "
+                       "after WINDOW chunks (repeatable, resume-aware "
+                       "like --subscribe-at)")
     serve.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write the merged cross-worker JSON snapshot "
                        "here")
@@ -317,10 +330,36 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _churn_schedule(args: argparse.Namespace) -> list:
+    """Parse --subscribe-at/--unsubscribe-at into a sorted op list.
+
+    Returns ``(window, kind, payload)`` tuples; subscribes sort before
+    unsubscribes at the same barrier so a swap never empties a shard.
+    """
+    schedule = []
+    for spec in args.subscribe_at:
+        window, sep, path = spec.partition(":")
+        if not sep or not path or not window.isdigit():
+            raise ValueError(
+                f"--subscribe-at needs WINDOW:QUERYFILE, got {spec!r}"
+            )
+        schedule.append((int(window), 0, "subscribe", path))
+    for spec in args.unsubscribe_at:
+        window, sep, qid = spec.partition(":")
+        if not sep or not window.isdigit() or not qid.lstrip("-").isdigit():
+            raise ValueError(
+                f"--unsubscribe-at needs WINDOW:QID, got {spec!r}"
+            )
+        schedule.append((int(window), 1, "unsubscribe", int(qid)))
+    schedule.sort(key=lambda item: item[:2])
+    return [(window, kind, payload) for window, _, kind, payload in schedule]
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.core.query import QuerySet
     from repro.evaluation.metrics import score_matches
     from repro.minhash.family import MinHashFamily
+    from repro.persistence import load_query_set
     from repro.serve import (
         BackpressurePolicy,
         CheckpointManager,
@@ -329,6 +368,11 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    try:
+        churn = _churn_schedule(args)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
         return 2
     prepared = _build_workload(args)
     config = _detector_config(args)
@@ -376,10 +420,36 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"serving {len(chunks)} chunks from chunk {start} across "
           f"{service.num_workers} {args.backend} worker(s), "
           f"shards {service.shard_sizes()}")
+
+    def apply_churn(barrier: int) -> None:
+        for window, kind, payload in churn:
+            if window != barrier:
+                continue
+            if kind == "subscribe":
+                loaded = load_query_set(payload, expected_config=config)
+                for qid in sorted(loaded.query_ids):
+                    shard = service.subscribe(loaded.get(qid))
+                    print(f"chunk {barrier}: subscribed query {qid} to "
+                          f"shard {shard} (epoch {service.epoch})")
+            else:
+                service.unsubscribe(payload)
+                print(f"chunk {barrier}: unsubscribed query {payload} "
+                      f"(epoch {service.epoch})")
+
+    if args.resume:
+        # Churn at barriers the checkpoint already covers replayed
+        # before the snapshot was written; re-applying would double it.
+        replayed = sum(1 for window, _, _ in churn if window <= start)
+        if replayed:
+            print(f"skipping {replayed} lifecycle op(s) already in the "
+                  f"checkpoint (barrier <= {start}, epoch {service.epoch})")
+    else:
+        apply_churn(0)
     stopped_early = False
     for position in range(start, len(chunks)):
         service.process_chunk(chunks[position])
         ingested = service.chunks_ingested
+        apply_churn(ingested)
         if manager and args.checkpoint_every and (
             ingested % args.checkpoint_every == 0
         ):

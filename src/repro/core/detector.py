@@ -224,6 +224,10 @@ class StreamingDetector:
             )
             self.index.warm_caches()
         self.context.refresh_queries()
+        # Eagerly re-sync the engine's per-query layout: a state
+        # snapshot taken before the next window must already include
+        # the new query, or restore will see a phantom query set.
+        self.engine.refresh()
 
     def unsubscribe(self, qid: int) -> None:
         """Remove a continuous query; purges its in-flight state."""

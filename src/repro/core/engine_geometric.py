@@ -68,6 +68,14 @@ class GeometricEngine:
             segment.sigs.pop(qid, None)
             segment.relevant.discard(qid)
 
+    def refresh(self) -> None:
+        """Adopt the current query set (online subscribe).
+
+        The scalar ladder keys per-query state by qid, so nothing needs
+        to move; the columnar ladder overrides this to re-sync its
+        column layout eagerly rather than on the next window.
+        """
+
     def process(self, payload: WindowPayload) -> List[Match]:
         """Fold one basic window into the ladder; return match events.
 
@@ -315,6 +323,14 @@ class ColumnarGeometricEngine(GeometricEngine):
 
     def purge_query(self, qid: int) -> None:
         """Drop one query's in-flight state (online unsubscribe)."""
+        self._sync_columns()
+
+    def refresh(self) -> None:
+        """Adopt the current query set (online subscribe).
+
+        Eager rather than lazy: a snapshot taken between a subscribe
+        and the next window must already see the new column layout.
+        """
         self._sync_columns()
 
     @property

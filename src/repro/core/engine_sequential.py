@@ -76,6 +76,14 @@ class SequentialEngine:
             candidate.sigs.pop(qid, None)
             candidate.relevant.discard(qid)
 
+    def refresh(self) -> None:
+        """Adopt the current query set (online subscribe).
+
+        The scalar store keys per-query state by qid, so nothing needs
+        to move; the columnar stores override this to re-sync their
+        column layout eagerly rather than on the next window.
+        """
+
     def process(self, payload: WindowPayload) -> List[Match]:
         """Fold one basic window into ``C_L``; return the match events.
 
@@ -289,6 +297,14 @@ class ColumnarSequentialEngine(SequentialEngine):
 
     def purge_query(self, qid: int) -> None:
         """Drop one query's in-flight state (online unsubscribe)."""
+        self._sync_columns()
+
+    def refresh(self) -> None:
+        """Adopt the current query set (online subscribe).
+
+        Eager rather than lazy: a snapshot taken between a subscribe
+        and the next window must already see the new column layout.
+        """
         self._sync_columns()
 
     @property

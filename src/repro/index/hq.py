@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -379,6 +379,25 @@ class HashQueryIndex:
             values[i] = entry.value
             position = entry.down
         return values
+
+    def canonical_state(self) -> Dict[int, Tuple[Tuple[int, ...], int]]:
+        """Order-independent content view: qid → (sketch values, length).
+
+        Two indexes holding the same queries are semantically equal iff
+        their canonical states match — regardless of how equal-valued
+        columns are ordered, which legitimately differs between an
+        incrementally maintained index and one rebuilt from scratch.
+        The online-maintenance fuzz compares this (plus
+        :meth:`check_invariants` on both sides) after every
+        insert/remove interleaving.
+        """
+        return {
+            qid: (
+                tuple(int(v) for v in self.sketch_values_of(qid)),
+                self.length_of(qid),
+            )
+            for qid in self.query_ids
+        }
 
     def check_invariants(self) -> None:
         """Validate structural invariants (used by tests).

@@ -79,6 +79,7 @@ class ScheduledStream:
     failed: bool = False
     deficit: float = 0.0
     in_flight: bool = False
+    lifecycle_applied: int = 0
 
     @property
     def stream_id(self) -> int:
@@ -237,6 +238,43 @@ class StreamScheduler:
         self.quantum = quantum if quantum > 0 else 1.0
         self._max_cost = 1.0
         self.rounds = 0
+        self._lifecycle_ops: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    # online query maintenance
+    # ------------------------------------------------------------------
+
+    def subscribe(self, query) -> None:
+        """Register a query subscription for every scheduled stream.
+
+        Ops are forwarded to each session's detector at that stream's
+        next chunk boundary (never mid-chunk, even with a threaded
+        detector pool), exactly once per stream, in registration order.
+        """
+        self._lifecycle_ops.append(("subscribe", query))
+
+    def unsubscribe(self, qid: int) -> None:
+        """Register a query removal for every scheduled stream."""
+        self._lifecycle_ops.append(("unsubscribe", qid))
+
+    def _apply_lifecycle(self, stream: ScheduledStream) -> None:
+        """Forward pending lifecycle ops to one idle stream's session."""
+        if stream.in_flight or stream.failed:
+            return
+        while stream.lifecycle_applied < len(self._lifecycle_ops):
+            kind, arg = self._lifecycle_ops[stream.lifecycle_applied]
+            stream.lifecycle_applied += 1
+            try:
+                if kind == "subscribe":
+                    stream.session.subscribe(arg)
+                else:
+                    stream.session.unsubscribe(arg)
+            except ReproError as error:
+                self._record_failure(stream, error)
+                return
+            self.registry.inc(
+                self._metric("lifecycle_ops", stream.stream_id)
+            )
 
     # ------------------------------------------------------------------
     # internals
@@ -396,6 +434,7 @@ class StreamScheduler:
                 if not active:
                     break
                 for stream in active:
+                    self._apply_lifecycle(stream)
                     self._pump(stream)
                 if self.policy is SchedulingPolicy.DEFICIT:
                     served = self._serve_deficit(pool, active)

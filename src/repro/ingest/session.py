@@ -215,6 +215,25 @@ class StreamSession:
         return matches
 
     # ------------------------------------------------------------------
+    # online query maintenance
+    # ------------------------------------------------------------------
+
+    def subscribe(self, query) -> None:
+        """Add a continuous query to this session's detector mid-stream.
+
+        Must be called at a chunk boundary (never while a pool worker
+        is processing one of this session's chunks); the scheduler's
+        lifecycle forwarding guarantees that.
+        """
+        self.detector.subscribe(query)
+        self.registry.inc("ingest.queries_subscribed")
+
+    def unsubscribe(self, qid: int) -> None:
+        """Drop a continuous query, purging its in-flight state."""
+        self.detector.unsubscribe(qid)
+        self.registry.inc("ingest.queries_unsubscribed")
+
+    # ------------------------------------------------------------------
     # checkpointing (via repro.serve)
     # ------------------------------------------------------------------
 

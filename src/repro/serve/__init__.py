@@ -22,6 +22,7 @@ line. See ``docs/serving.md`` for the architecture.
 
 from repro.serve.checkpoint import (
     CHECKPOINT_FORMAT,
+    COMPATIBLE_FORMATS,
     CheckpointManager,
     ServiceCheckpoint,
 )
@@ -34,7 +35,7 @@ from repro.serve.queues import (
     put_with_policy,
     queue_depth,
 )
-from repro.serve.service import BACKENDS, DetectionService
+from repro.serve.service import BACKENDS, DetectionService, QueryInfo
 from repro.serve.state import restore_worker_state, worker_state
 from repro.serve.workers import ShardWorker, WorkerSpec
 
@@ -43,10 +44,12 @@ __all__ = [
     "BackpressurePolicy",
     "BoundedChannel",
     "CHECKPOINT_FORMAT",
+    "COMPATIBLE_FORMATS",
     "CheckpointManager",
     "DetectionService",
     "MatchCollector",
     "PutOutcome",
+    "QueryInfo",
     "ServiceCheckpoint",
     "ShardPlan",
     "ShardPlanner",

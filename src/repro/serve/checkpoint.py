@@ -43,11 +43,22 @@ from repro.persistence import (
     require_config_match,
 )
 
-__all__ = ["CHECKPOINT_FORMAT", "CheckpointManager", "ServiceCheckpoint"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "COMPATIBLE_FORMATS",
+    "CheckpointManager",
+    "ServiceCheckpoint",
+]
 
 #: Format tag embedded in every checkpoint archive. Bump the suffix when
 #: the layout changes incompatibly; loading rejects unknown tags.
-CHECKPOINT_FORMAT = "repro.ckpt/1"
+#: ``/2`` added the lifecycle ``epoch`` field (and per-worker epochs
+#: inside the worker states) for the query-admission control plane.
+CHECKPOINT_FORMAT = "repro.ckpt/2"
+
+#: Older tags :meth:`CheckpointManager.load` still reads. ``/1``
+#: archives predate query churn: they load with ``epoch`` 0.
+COMPATIBLE_FORMATS = ("repro.ckpt/1", CHECKPOINT_FORMAT)
 
 _CKPT_NAME = re.compile(r"^ckpt-(\d+)\.npz$")
 
@@ -75,9 +86,15 @@ class ServiceCheckpoint:
         Per-worker query subsets, in worker order.
     worker_states:
         Per-worker flattened detector state
-        (:func:`repro.serve.state.worker_state` dicts), in worker order.
+        (:func:`repro.serve.state.worker_state` dicts), in worker
+        order. Each dict carries that shard's lifecycle ``epoch``.
     matches:
         The merged match stream collected before the snapshot.
+    epoch:
+        The service-level lifecycle epoch: how many subscribe /
+        unsubscribe barriers the service had committed. A resumed
+        service continues numbering from here, so a scripted churn
+        schedule can skip the ops the checkpoint already contains.
     """
 
     config: DetectorConfig
@@ -88,10 +105,18 @@ class ServiceCheckpoint:
     worker_queries: List[QuerySet]
     worker_states: List[Dict[str, np.ndarray]]
     matches: List[Match]
+    epoch: int = 0
 
     @property
     def num_workers(self) -> int:
         return len(self.worker_states)
+
+    def worker_epochs(self) -> List[int]:
+        """Per-shard lifecycle epochs recorded in the worker states."""
+        return [
+            int(state["epoch"][0]) if "epoch" in state else 0
+            for state in self.worker_states
+        ]
 
 
 def _matches_payload(matches: List[Match]) -> Dict[str, np.ndarray]:
@@ -181,6 +206,7 @@ class CheckpointManager:
             "num_workers": np.asarray([checkpoint.num_workers]),
             "chunks_ingested": np.asarray([checkpoint.chunks_ingested]),
             "cap_hint": np.asarray([checkpoint.cap_hint]),
+            "epoch": np.asarray([checkpoint.epoch]),
             "keyframes_per_second": np.asarray(
                 [checkpoint.keyframes_per_second], dtype=np.float64
             ),
@@ -243,10 +269,10 @@ class CheckpointManager:
             raise PersistenceError(
                 f"checkpoint file {path} is missing field {error}"
             )
-        if fmt != CHECKPOINT_FORMAT:
+        if fmt not in COMPATIBLE_FORMATS:
             raise PersistenceError(
                 f"checkpoint file {path} has format {fmt!r}; this build "
-                f"reads {CHECKPOINT_FORMAT!r}"
+                f"reads {COMPATIBLE_FORMATS}"
             )
         try:
             config = detector_config_from_mapping(archive)
@@ -286,6 +312,9 @@ class CheckpointManager:
                 worker_queries=worker_queries,
                 worker_states=worker_states,
                 matches=_matches_from_mapping(archive),
+                epoch=(
+                    int(archive["epoch"][0]) if "epoch" in archive.files else 0
+                ),
             )
         except PersistenceError:
             raise

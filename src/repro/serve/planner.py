@@ -19,9 +19,9 @@ resumed service reconstructs the same plan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.core.query import QuerySet
+from repro.core.query import Query, QuerySet
 from repro.errors import ServeError
 
 __all__ = ["ShardPlan", "ShardPlanner"]
@@ -120,6 +120,26 @@ class ShardPlanner:
             loads=tuple(loads),
             strategy=self.strategy,
         )
+
+    def place(self, loads: Sequence[int]) -> int:
+        """Pick the shard for one *new* query given current shard loads.
+
+        The online counterpart of :meth:`plan`'s greedy step: the
+        least-loaded shard wins, ties toward the lower shard id — the
+        same deterministic rule, so a churned service and a re-planned
+        one agree on where a marginal query lands.
+        """
+        if not loads:
+            raise ServeError("cannot place a query across zero shards")
+        return min(range(len(loads)), key=lambda i: (loads[i], i))
+
+    def weight(
+        self, query: Query, window_frames: int, tempo_scale: float
+    ) -> int:
+        """One query's load weight under this planner's strategy."""
+        if self.strategy == "count":
+            return 1
+        return query.max_candidate_windows(window_frames, tempo_scale)
 
     def _weights(
         self,

@@ -22,9 +22,10 @@ Three executor backends share one worker implementation and protocol
 sketch/signature state *except* for candidate expiry, which uses the
 global ``max(ceil(λL/w))`` over every subscribed query. The service
 therefore computes that global cap and broadcasts it to every worker as
-a ``cap_hint`` — at construction and again after every subscribe or
-unsubscribe — ordered with the chunk stream (control messages only ever
-travel at chunk barriers). Under the ``block`` backpressure policy the
+a ``cap_hint`` — at construction and again inside the epoch-barrier
+``lifecycle`` broadcast that commits every subscribe or unsubscribe
+(see :meth:`DetectionService.subscribe`) — ordered with the chunk
+stream (control messages only ever travel at chunk barriers). Under the ``block`` backpressure policy the
 merged output is then bit-for-bit the single-process detector's; the
 lossy policies (``drop_oldest``, ``shed``) trade that guarantee for
 bounded ingestion and are fully accounted in the ``serve.*`` metrics.
@@ -35,6 +36,7 @@ from __future__ import annotations
 import pathlib
 import queue as queue_module
 import threading
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -58,9 +60,35 @@ from repro.serve.queues import (
 )
 from repro.serve.workers import ShardWorker, WorkerSpec, _worker_loop
 
-__all__ = ["BACKENDS", "DetectionService"]
+__all__ = ["BACKENDS", "DetectionService", "QueryInfo"]
 
 BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class QueryInfo:
+    """One subscribed query as the admission control plane sees it.
+
+    Attributes
+    ----------
+    qid:
+        The query id.
+    shard:
+        The worker currently detecting it.
+    cap_windows:
+        Its candidate cap ``ceil(λL/w)`` — its contribution to the
+        global ``cap_hint`` and its weight under the ``load`` strategy.
+    num_frames:
+        Query length in key frames.
+    label:
+        The query's human-readable name, if any.
+    """
+
+    qid: int
+    shard: int
+    cap_windows: int
+    num_frames: int
+    label: str
 
 
 class _SerialExecutor:
@@ -227,6 +255,7 @@ class DetectionService:
         )
         self.collector = MatchCollector(config.order)
         self.chunks_ingested = 0
+        self.epoch = 0
         self._flushed = False
         self._closed = False
 
@@ -247,6 +276,7 @@ class DetectionService:
             shard_queries = list(_checkpoint.worker_queries)
             states = list(_checkpoint.worker_states)
             self.chunks_ingested = _checkpoint.chunks_ingested
+            self.epoch = _checkpoint.epoch
             self.collector.restore(_checkpoint.matches)
 
         self._shard_qids: List[Set[int]] = [
@@ -269,6 +299,11 @@ class DetectionService:
             # horizon; keep it so restored candidate ages stay legal.
             self.cap_hint = _checkpoint.cap_hint
 
+        worker_epochs = (
+            [self.epoch] * len(shard_queries)
+            if _checkpoint is None
+            else _checkpoint.worker_epochs()
+        )
         specs = [
             WorkerSpec(
                 worker_id=index,
@@ -278,6 +313,7 @@ class DetectionService:
                 cap_hint=self.cap_hint,
                 timing_enabled=timing_enabled,
                 state=states[index],
+                epoch=worker_epochs[index],
             )
             for index, shard in enumerate(shard_queries)
         ]
@@ -288,6 +324,8 @@ class DetectionService:
         else:
             self._executor = _ProcessExecutor(specs, queue_capacity)
         self.num_workers = len(specs)
+        self._planner = ShardPlanner(self.num_workers, strategy)
+        self._update_query_gauges()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -477,7 +515,7 @@ class DetectionService:
         return self.collector.matches
 
     # ------------------------------------------------------------------
-    # subscription churn
+    # query admission (subscription churn)
     # ------------------------------------------------------------------
 
     def shard_of(self, qid: int) -> int:
@@ -491,40 +529,78 @@ class DetectionService:
         """Current per-worker query counts."""
         return [len(qids) for qids in self._shard_qids]
 
-    def subscribe(self, query: Query) -> None:
-        """Add a query mid-stream, to the least-loaded shard.
-
-        Broadcasts the updated global cap hint to *every* worker so
-        candidate expiry stays globally consistent (the equivalence
-        invariant) before any further chunk is ingested.
-        """
-        self._require_open()
-        for qids in self._shard_qids:
-            if query.qid in qids:
-                raise ServeError(f"query {query.qid} is already subscribed")
-        cap = query.max_candidate_windows(
-            self.window_frames, self.config.tempo_scale
-        )
+    def shard_loads(self) -> List[int]:
+        """Current per-worker loads under the planning strategy."""
         weights = (
             {qid: 1 for qid in self._caps}
             if self.strategy == "count"
             else self._caps
         )
-        loads = [
+        return [
             sum(weights[qid] for qid in qids) for qids in self._shard_qids
         ]
-        target = min(range(self.num_workers), key=lambda i: (loads[i], i))
-        self._executor.send(
-            target, ("subscribe", query), BackpressurePolicy.BLOCK
+
+    def list_queries(self) -> List[QueryInfo]:
+        """Every subscribed query with its placement, in qid order."""
+        self._require_open()
+        return sorted(
+            (
+                QueryInfo(
+                    qid=qid,
+                    shard=worker_id,
+                    cap_windows=self._caps[qid],
+                    num_frames=self._queries[qid].num_frames,
+                    label=self._queries[qid].label,
+                )
+                for worker_id, qids in enumerate(self._shard_qids)
+                for qid in qids
+            ),
+            key=lambda info: info.qid,
         )
-        self._expect(target, "ok")
+
+    def subscribe(self, query: Query) -> int:
+        """Add a query mid-stream; returns the shard that received it.
+
+        Placement goes through the :class:`ShardPlanner`'s online rule
+        (least-loaded under the service's strategy, deterministic tie
+        break). The op is delivered as one epoch-barrier ``lifecycle``
+        broadcast: every worker — not just the target — acknowledges
+        the same epoch and the recomputed global ``cap_hint`` before
+        any further chunk is ingested, so candidate expiry stays
+        globally consistent (the equivalence invariant) and the merged
+        match stream stays deterministic.
+        """
+        self._require_open()
+        if query.qid in self._queries:
+            raise ServeError(f"query {query.qid} is already subscribed")
+        if query.sketch.family != self._family.fingerprint:
+            raise ServeError(
+                f"query {query.qid} was sketched under a different hash "
+                "family than this service's query set"
+            )
+        cap = query.max_candidate_windows(
+            self.window_frames, self.config.tempo_scale
+        )
+        target = self._planner.place(self.shard_loads())
+        self._lifecycle(
+            {target: (("subscribe", query),)},
+            max(max(self._caps.values()), cap),
+        )
         self._shard_qids[target].add(query.qid)
         self._queries[query.qid] = query
         self._caps[query.qid] = cap
-        self._rebroadcast_cap_hint()
+        self.registry.inc("serve.queries.subscribed")
+        self._update_query_gauges()
+        return target
 
     def unsubscribe(self, qid: int) -> None:
-        """Drop a query mid-stream; rebroadcasts the global cap hint."""
+        """Drop a query mid-stream (epoch-barrier broadcast).
+
+        The global ``cap_hint`` is recomputed over the surviving
+        queries — it may shrink, exactly as a single detector's global
+        horizon shrinks, so over-horizon candidates expire on the next
+        window in every shard at once.
+        """
         self._require_open()
         worker_id = self.shard_of(qid)
         if len(self._shard_qids[worker_id]) < 2:
@@ -533,18 +609,47 @@ class DetectionService:
                 f"of shard {worker_id} (a worker cannot run empty; "
                 "subscribe a replacement first)"
             )
-        self._executor.send(
-            worker_id, ("unsubscribe", qid), BackpressurePolicy.BLOCK
+        surviving = max(
+            cap for other, cap in self._caps.items() if other != qid
         )
-        self._expect(worker_id, "ok")
+        self._lifecycle({worker_id: (("unsubscribe", qid),)}, surviving)
         self._shard_qids[worker_id].discard(qid)
         del self._queries[qid]
         del self._caps[qid]
-        self._rebroadcast_cap_hint()
+        self.registry.inc("serve.queries.unsubscribed")
+        self._update_query_gauges()
 
-    def _rebroadcast_cap_hint(self) -> None:
-        self.cap_hint = max(self._caps.values())
-        self._control(("cap_hint", self.cap_hint))
+    def _lifecycle(
+        self, ops_by_worker: Dict[int, Tuple], cap_hint: int
+    ) -> None:
+        """Commit one churn event as an epoch barrier on every worker.
+
+        The message travels on the same channels as chunks, so each
+        shard applies its ops (and the new cap hint) at the same
+        basic-window boundary relative to the stream.
+        """
+        epoch = self.epoch + 1
+        for worker_id in range(self.num_workers):
+            message = (
+                "lifecycle",
+                epoch,
+                ops_by_worker.get(worker_id, ()),
+                cap_hint,
+            )
+            self._executor.send(
+                worker_id, message, BackpressurePolicy.BLOCK
+            )
+        for worker_id in range(self.num_workers):
+            self._expect(worker_id, "ok")
+        self.epoch = epoch
+        if cap_hint != self.cap_hint:
+            self.registry.inc("serve.queries.cap_rebroadcasts")
+        self.cap_hint = cap_hint
+
+    def _update_query_gauges(self) -> None:
+        self.registry.set_gauge("serve.queries.active", len(self._queries))
+        self.registry.set_gauge("serve.queries.epoch", self.epoch)
+        self.registry.set_gauge("serve.queries.cap_hint", self.cap_hint)
 
     # ------------------------------------------------------------------
     # metrics
@@ -575,6 +680,8 @@ class DetectionService:
             "strategy": self.strategy,
             "num_workers": self.num_workers,
             "cap_hint": self.cap_hint,
+            "epoch": self.epoch,
+            "num_queries": len(self._queries),
             "chunks_ingested": self.chunks_ingested,
             "matches_collected": len(self.collector),
             "shards": [sorted(qids) for qids in self._shard_qids],
@@ -626,6 +733,7 @@ class DetectionService:
                 worker_queries=queries,
                 worker_states=states,
                 matches=list(self.collector.matches),
+                epoch=self.epoch,
             )
         )
 

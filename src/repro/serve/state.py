@@ -208,6 +208,10 @@ def _engine_kind(engine) -> str:
 
 
 def _columnar_sequential_state(engine: ColumnarSequentialEngine) -> Dict:
+    # The column layout is adopted lazily; sync before reading so a
+    # snapshot taken right after a subscribe/unsubscribe (before the
+    # next window) records the live query set, not a stale one.
+    engine._sync_columns()
     state = {
         "eng_qids": np.asarray(engine._qids, dtype=np.int64),
         "eng_start_window": engine.start_window.copy(),
@@ -296,6 +300,7 @@ def _restore_scalar_sequential(
 
 
 def _columnar_geometric_state(engine: ColumnarGeometricEngine) -> Dict:
+    engine._sync_columns()
     segments = engine.segments
     is_bit = engine.context.is_bit
     num_hashes = engine.context.config.num_hashes

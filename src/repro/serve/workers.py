@@ -13,18 +13,32 @@ The protocol is plain tuples (picklable for the process backend); every
 request produces exactly one reply, so the service can run workers in
 lock step without extra sequencing:
 
-=============================  =====================================
-request                        reply
-=============================  =====================================
-``("chunk", seq, cell_ids)``   ``("matches", wid, seq, [Match, ...])``
-``("flush",)``                 ``("flushed", wid, [Match, ...])``
-``("subscribe", query)``       ``("ok", wid)``
-``("unsubscribe", qid)``       ``("ok", wid)``
-``("cap_hint", hint)``         ``("ok", wid)``
-``("state",)``                 ``("state", wid, {...})``
-``("snapshot",)``              ``("snapshot", wid, {...})``
-``("stop",)``                  ``("stopped", wid)``
-=============================  =====================================
+==================================  =====================================
+request                             reply
+==================================  =====================================
+``("chunk", seq, cell_ids)``        ``("matches", wid, seq, [Match, ...])``
+``("flush",)``                      ``("flushed", wid, [Match, ...])``
+``("lifecycle", epoch, ops, hint)`` ``("ok", wid)``
+``("subscribe", query)``            ``("ok", wid)``
+``("unsubscribe", qid)``            ``("ok", wid)``
+``("cap_hint", hint)``              ``("ok", wid)``
+``("state",)``                      ``("state", wid, {...})``
+``("snapshot",)``                   ``("snapshot", wid, {...})``
+``("stop",)``                       ``("stopped", wid)``
+==================================  =====================================
+
+``lifecycle`` is the epoch barrier of the query-admission control
+plane (see ``docs/serving.md``): the service broadcasts one message per
+churn event to *every* worker on the same channel as chunks, carrying
+this worker's (possibly empty) op list — ``("subscribe", Query)`` or
+``("unsubscribe", qid)`` tuples — plus the new global ``cap_hint``.
+Because it is ordered with the chunk stream, every shard applies the
+change at the same basic-window boundary, keeping the merged match
+stream deterministic. The worker records the epoch number; it rides
+along in state snapshots so a resumed service knows exactly which
+lifecycle events the checkpoint already contains. The three bare
+``subscribe``/``unsubscribe``/``cap_hint`` messages remain for direct
+single-worker use (e.g. the ingest layer's one-worker sessions).
 
 A worker never lets an exception escape: any failure is reported as
 ``("error", wid, message)`` and the worker keeps serving, so one bad
@@ -72,6 +86,9 @@ class WorkerSpec:
     state:
         Optional :func:`~repro.serve.state.worker_state` snapshot to
         restore on construction (checkpoint resume).
+    epoch:
+        The lifecycle epoch this worker starts at (0 for a fresh
+        service; the recorded per-shard epoch on checkpoint resume).
     """
 
     worker_id: int
@@ -81,6 +98,7 @@ class WorkerSpec:
     cap_hint: int
     timing_enabled: bool = True
     state: Optional[Dict[str, np.ndarray]] = None
+    epoch: int = 0
 
 
 class ShardWorker:
@@ -97,6 +115,7 @@ class ShardWorker:
             cap_hint=spec.cap_hint,
         )
         self.monitor = LiveMonitor(self.detector)
+        self.epoch = int(spec.epoch)
         if spec.state is not None:
             restore_worker_state(self.detector, self.monitor, spec.state)
 
@@ -117,6 +136,18 @@ class ShardWorker:
             return ("matches", self.worker_id, seq, matches)
         if kind == "flush":
             return ("flushed", self.worker_id, self.monitor.flush())
+        if kind == "lifecycle":
+            _, epoch, ops, cap_hint = message
+            for op in ops:
+                if op[0] == "subscribe":
+                    self.detector.subscribe(op[1])
+                elif op[0] == "unsubscribe":
+                    self.detector.unsubscribe(op[1])
+                else:
+                    raise ValueError(f"unknown lifecycle op {op[0]!r}")
+            self.detector.set_cap_hint(int(cap_hint))
+            self.epoch = int(epoch)
+            return ("ok", self.worker_id)
         if kind == "subscribe":
             self.detector.subscribe(message[1])
             return ("ok", self.worker_id)
@@ -127,11 +158,9 @@ class ShardWorker:
             self.detector.set_cap_hint(int(message[1]))
             return ("ok", self.worker_id)
         if kind == "state":
-            return (
-                "state",
-                self.worker_id,
-                worker_state(self.detector, self.monitor),
-            )
+            state = worker_state(self.detector, self.monitor)
+            state["epoch"] = np.asarray([self.epoch], dtype=np.int64)
+            return ("state", self.worker_id, state)
         if kind == "snapshot":
             return ("snapshot", self.worker_id, snapshot(self.registry))
         if kind == "stop":

@@ -13,6 +13,9 @@ off; backend smoke tests cover the thread and process executors.
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -230,6 +233,142 @@ def _serial_with_actions(config, family, queries, frames, chunks, applied):
                 detector.unsubscribe(qid)
     matches.extend(monitor.flush())
     return detector, matches
+
+
+def _run_service_with_kill_resume(config, family, queries, frames, chunks,
+                                  actions, num_workers, ckpt_dir):
+    """Like :func:`_run_service`, but kill/resume mid-stream.
+
+    The service is checkpointed at the middle chunk boundary *after*
+    that boundary's churn action executes (matching the CLI's
+    ops-before-checkpoint ordering), closed, and restored from disk
+    before the remaining chunks run. Returns (service, applied) with the
+    restored service holding the full merged match stream.
+    """
+    service = DetectionService(
+        config,
+        _initial_set(family, queries, frames, actions),
+        KEYFRAMES_PER_SECOND,
+        num_workers=num_workers,
+    )
+    applied = []
+    kill_at = (len(chunks) - 1) // 2 if len(chunks) > 1 else None
+    for position, chunk in enumerate(chunks):
+        final = position == len(chunks) - 1
+        service.run([chunk], flush=final)
+        if not final and position < len(actions):
+            kind, qid = actions[position]
+            if kind == "subscribe":
+                service.subscribe(_make_query(family, queries, frames, qid))
+                applied.append((position, "subscribe", qid))
+            elif kind == "unsubscribe":
+                try:
+                    worker = service.shard_of(qid)
+                except Exception:
+                    worker = None  # already unsubscribed earlier
+                if (worker is not None
+                        and service.shard_sizes()[worker] >= 2):
+                    service.unsubscribe(qid)
+                    applied.append((position, "unsubscribe", qid))
+        if position == kill_at and not final:
+            path = service.checkpoint(ckpt_dir)
+            service.close()
+            service = DetectionService.restore(path, expected_config=config)
+    return service, applied
+
+
+@pytest.mark.parametrize("order,representation,use_index", ALL_MODES)
+@settings(max_examples=5, deadline=None)
+@given(workload=workloads())
+def test_kill_resume_mid_churn_equals_serial(
+    order, representation, use_index, workload
+):
+    """Churn + checkpoint kill/resume still equals the serial detector.
+
+    The checkpoint lands immediately after a subscribe/unsubscribe
+    (before the next chunk), the exact spot where stale columnar
+    snapshots and leaked per-query state used to corrupt restores.
+    """
+    family_seed, queries, frames, threshold, chunks, actions = workload
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=family_seed)
+    config = DetectorConfig(
+        num_hashes=NUM_HASHES,
+        threshold=threshold,
+        window_seconds=WINDOW_SECONDS,
+        order=order,
+        representation=representation,
+        use_index=use_index,
+        vectorized=True,
+    )
+    for num_workers in SHARD_COUNTS:
+        # tempfile (not the tmp_path fixture): function-scoped fixtures
+        # trip hypothesis' health check across examples.
+        with tempfile.TemporaryDirectory() as tmp:
+            service, applied = _run_service_with_kill_resume(
+                config, family, queries, frames, chunks, actions,
+                num_workers, Path(tmp),
+            )
+            ref_detector, ref_matches = _serial_with_actions(
+                config, family, queries, frames, chunks, applied
+            )
+            key = canonical_sort_key(order)
+            assert [
+                _match_key(m) for m in sorted(ref_matches, key=key)
+            ] == [_match_key(m) for m in service.matches]
+            _assert_counters(ref_detector, service)
+            service.close()
+
+
+@pytest.mark.parametrize("order,representation,use_index", ALL_MODES)
+@settings(max_examples=10, deadline=None)
+@given(workload=workloads())
+def test_scalar_matches_columnar_under_churn(
+    order, representation, use_index, workload
+):
+    """Golden equivalence of the two engine implementations under churn.
+
+    A subscribe must not leave the columnar path scoring a stale query
+    column set, and an unsubscribe must purge the query's columns; the
+    scalar store keys state by qid and is immune, so any divergence in
+    the match streams pins the bug on the vectorized path.
+    """
+    family_seed, queries, frames, threshold, chunks, actions = workload
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=family_seed)
+    initial = [qid for qid in queries if ("subscribe", qid) not in actions]
+    results = {}
+    for vectorized in (False, True):
+        config = DetectorConfig(
+            num_hashes=NUM_HASHES,
+            threshold=threshold,
+            window_seconds=WINDOW_SECONDS,
+            order=order,
+            representation=representation,
+            use_index=use_index,
+            vectorized=vectorized,
+        )
+        detector = StreamingDetector(
+            config,
+            _initial_set(family, queries, frames, actions),
+            KEYFRAMES_PER_SECOND,
+        )
+        monitor = LiveMonitor(detector)
+        subscribed = set(initial)
+        matches = []
+        for position, chunk in enumerate(chunks):
+            matches.extend(monitor.push_cell_ids(chunk))
+            if position == len(chunks) - 1 or position >= len(actions):
+                continue
+            kind, qid = actions[position]
+            if kind == "subscribe":
+                detector.subscribe(_make_query(family, queries, frames, qid))
+                subscribed.add(qid)
+            elif (kind == "unsubscribe" and qid in subscribed
+                    and len(subscribed) > 1):
+                detector.unsubscribe(qid)
+                subscribed.discard(qid)
+        matches.extend(monitor.flush())
+        results[vectorized] = sorted(map(_match_key, matches))
+    assert results[False] == results[True]
 
 
 def _assert_counters(ref_detector, service):
