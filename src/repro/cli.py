@@ -140,6 +140,13 @@ def build_parser() -> argparse.ArgumentParser:
                        "equivalence)")
     serve.add_argument("--chunk-seconds", type=float, default=30.0,
                        help="stream seconds per ingested chunk")
+    serve.add_argument("--self-sketch", action="store_true",
+                       help="disable the sketch-once front end: every "
+                       "worker re-sketches the raw stream itself (the "
+                       "bit-for-bit reference protocol)")
+    serve.add_argument("--batch-chunks", type=int, default=4,
+                       help="sketch-once mode: chunks sketched and "
+                       "shipped per WindowBatch")
     serve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                        help="directory for service snapshots")
     serve.add_argument("--checkpoint-every", type=int, default=0,
@@ -397,6 +404,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             queue_capacity=args.queue_capacity,
             policy=policy,
+            sketch_once=not args.self_sketch,
+            batch_chunks=args.batch_chunks,
         )
         start = service.chunks_ingested
         print(f"resumed from chunk {start} "
@@ -415,6 +424,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             strategy=args.plan,
             queue_capacity=args.queue_capacity,
             policy=policy,
+            sketch_once=not args.self_sketch,
+            batch_chunks=args.batch_chunks,
         )
         start = 0
     print(f"serving {len(chunks)} chunks from chunk {start} across "

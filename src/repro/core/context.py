@@ -31,6 +31,7 @@ from repro.signature.bitsig import (
     pack_bool_planes,
     plane_words,
     popcount_planes,
+    signature_from_planes,
 )
 from repro.signature.pruning import lemma2_prunable, violates_lemma2
 
@@ -260,23 +261,44 @@ class EvalContext:
     # window payload construction
     # ------------------------------------------------------------------
 
-    def window_payload(self, window: BasicWindow) -> WindowPayload:
+    def window_payload(
+        self,
+        window: BasicWindow,
+        planes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> WindowPayload:
         """Compare an arriving basic window against the query population.
 
         With the index, a single probe yields the related queries and (in
         bit mode) their signatures; without it, every query is compared.
         Runs under the ``probe`` phase timer either way (payload
         construction is the probe stage of the pipeline).
+
+        ``planes`` optionally carries precomputed ``(ge, lt)`` packed
+        plane arrays of shape ``(Q, W)`` in sorted-qid column order (the
+        sketch-once serving front end). The no-index bit paths substitute
+        them for the window encode — with accounting identical to the
+        self-encoding reference, since the encode *was* performed, just
+        once upstream instead of once per shard. The index path ignores
+        them (the probe, not a full encode, is its accounted operation),
+        as does the sketch representation.
         """
         with self.phase("probe"):
-            return self._window_payload(window)
+            return self._window_payload(window, planes)
 
-    def _window_payload(self, window: BasicWindow) -> WindowPayload:
+    def _window_payload(
+        self,
+        window: BasicWindow,
+        planes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> WindowPayload:
         if self.vectorized:
-            return self._window_payload_columnar(window)
-        return self._window_payload_scalar(window)
+            return self._window_payload_columnar(window, planes)
+        return self._window_payload_scalar(window, planes)
 
-    def _window_payload_scalar(self, window: BasicWindow) -> WindowPayload:
+    def _window_payload_scalar(
+        self,
+        window: BasicWindow,
+        planes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> WindowPayload:
         if self.index is not None:
             self.registry.inc("engine.index_probes")
             related_list = probe_index(
@@ -299,9 +321,29 @@ class EvalContext:
             )
 
         if self.is_bit:
+            qids, matrix = self._query_matrix()
+            sigs: Dict[int, BitSignature] = {}
+            if planes is not None:
+                # Precomputed planes (sketch-once front end): the packed
+                # rows already hold the window-vs-query bits in the same
+                # little-endian layout the local encode would produce, so
+                # the signatures — and the charge per query — are the
+                # reference path's, bit for bit.
+                ge_rows, lt_rows = planes
+                self.registry.inc("engine.signature_encodes", len(qids))
+                for row, qid in enumerate(qids):
+                    signature = signature_from_planes(
+                        ge_rows[row], lt_rows[row], self.config.num_hashes
+                    )
+                    if self.prunable(signature):
+                        self.registry.inc("engine.signature_prunes")
+                        continue
+                    sigs[qid] = signature
+                return WindowPayload(
+                    window=window, sigs=sigs, related=set(sigs)
+                )
             # Batched encode: compare the window's K values against the
             # (m, K) query matrix in one shot and pack both planes row-wise.
-            qids, matrix = self._query_matrix()
             values = window.sketch.values
             ge_planes = np.packbits(
                 values[np.newaxis, :] <= matrix, axis=1, bitorder="little"
@@ -310,7 +352,6 @@ class EvalContext:
                 values[np.newaxis, :] < matrix, axis=1, bitorder="little"
             )
             self.registry.inc("engine.signature_encodes", len(qids))
-            sigs: Dict[int, BitSignature] = {}
             for row, qid in enumerate(qids):
                 signature = BitSignature._raw(
                     int.from_bytes(ge_planes[row].tobytes(), "little"),
@@ -329,7 +370,11 @@ class EvalContext:
     # columnar window payloads (the vectorized engines' input)
     # ------------------------------------------------------------------
 
-    def _window_payload_columnar(self, window: BasicWindow) -> WindowPayload:
+    def _window_payload_columnar(
+        self,
+        window: BasicWindow,
+        planes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> WindowPayload:
         """Packed-plane payload with the scalar path's exact accounting.
 
         Counter parity with :meth:`_window_payload_scalar` is load-bearing
@@ -386,7 +431,13 @@ class EvalContext:
             )
 
         if self.is_bit:
-            ge, lt = encode_planes(window.sketch.values, columns.matrix)
+            if planes is not None:
+                # Sketch-once front end: rows arrive pre-encoded (and
+                # already copied per shard), identical bits to the local
+                # encode below. Same per-query accounting either way.
+                ge, lt = planes
+            else:
+                ge, lt = encode_planes(window.sketch.values, columns.matrix)
             self.registry.inc("engine.signature_encodes", num_queries)
             if self.config.prune:
                 prunable = lemma2_prunable(

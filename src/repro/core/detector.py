@@ -10,7 +10,7 @@ maintenance.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -123,13 +123,26 @@ class StreamingDetector:
         their true length, never as a full ``w``)."""
         return self.context.stats.frames_processed
 
-    def process_window(self, window: BasicWindow) -> List[Match]:
-        """Feed one pre-sketched basic window; return its match events."""
+    def process_window(
+        self,
+        window: BasicWindow,
+        planes: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> List[Match]:
+        """Feed one pre-sketched basic window; return its match events.
+
+        ``planes`` optionally supplies precomputed packed window-vs-query
+        signature planes — ``(ge, lt)`` uint64 arrays of shape ``(Q, W)``
+        in this detector's sorted-qid column order (the sketch-once
+        serving front end). They are substituted for the window encode in
+        the no-index bit path with identical accounting; the index and
+        sketch paths ignore them. The self-encoding path (``planes``
+        omitted) remains the bit-for-bit reference.
+        """
         stats = self.context.stats
         stats.frames_processed += window.num_frames
         if window.num_frames < self.window_frames:
             stats.partial_windows += 1
-        payload = self.context.window_payload(window)
+        payload = self.context.window_payload(window, planes=planes)
         matches = self.engine.process(payload)
         self.matches.extend(matches)
         return matches

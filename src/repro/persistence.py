@@ -232,7 +232,10 @@ def save_query_set(
     if config is not None:
         payload.update(detector_config_payload(config))
     with open(path, "wb") as handle:
-        np.savez_compressed(handle, **payload, allow_pickle=True)
+        # No allow_pickle kwarg: older numpy stored it as a spurious
+        # archive member (object arrays pickle by default on save; it
+        # is the load side that must opt in).
+        np.savez_compressed(handle, **payload)
 
 
 def _open_archive(path: pathlib.Path):

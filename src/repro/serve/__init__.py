@@ -27,6 +27,7 @@ from repro.serve.checkpoint import (
     ServiceCheckpoint,
 )
 from repro.serve.collector import MatchCollector, canonical_sort_key
+from repro.serve.frontend import StreamFrontend, TailWindow, WindowBatch
 from repro.serve.planner import ShardPlan, ShardPlanner
 from repro.serve.queues import (
     BackpressurePolicy,
@@ -36,12 +37,19 @@ from repro.serve.queues import (
     queue_depth,
 )
 from repro.serve.service import BACKENDS, DetectionService, QueryInfo
+from repro.serve.shm import (
+    BatchDescriptor,
+    ShmBatchReader,
+    ShmBatchRing,
+    shm_available,
+)
 from repro.serve.state import restore_worker_state, worker_state
 from repro.serve.workers import ShardWorker, WorkerSpec
 
 __all__ = [
     "BACKENDS",
     "BackpressurePolicy",
+    "BatchDescriptor",
     "BoundedChannel",
     "CHECKPOINT_FORMAT",
     "COMPATIBLE_FORMATS",
@@ -54,10 +62,16 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "ShardWorker",
+    "ShmBatchReader",
+    "ShmBatchRing",
+    "StreamFrontend",
+    "TailWindow",
+    "WindowBatch",
     "WorkerSpec",
     "canonical_sort_key",
     "put_with_policy",
     "queue_depth",
     "restore_worker_state",
+    "shm_available",
     "worker_state",
 ]

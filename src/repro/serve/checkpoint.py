@@ -54,11 +54,17 @@ __all__ = [
 #: the layout changes incompatibly; loading rejects unknown tags.
 #: ``/2`` added the lifecycle ``epoch`` field (and per-worker epochs
 #: inside the worker states) for the query-admission control plane.
-CHECKPOINT_FORMAT = "repro.ckpt/2"
+#: ``/3`` added the sketch-once front end's stream state (``frontend_*``
+#: fields) — under sketch-once serving the undigested buffer lives in
+#: the service, not in the workers' monitors, so an older loader would
+#: silently drop those frames.
+CHECKPOINT_FORMAT = "repro.ckpt/3"
 
 #: Older tags :meth:`CheckpointManager.load` still reads. ``/1``
-#: archives predate query churn: they load with ``epoch`` 0.
-COMPATIBLE_FORMATS = ("repro.ckpt/1", CHECKPOINT_FORMAT)
+#: archives predate query churn: they load with ``epoch`` 0. ``/2``
+#: archives predate the sketch-once front end: they load without
+#: front-end state and the service migrates worker 0's monitor buffer.
+COMPATIBLE_FORMATS = ("repro.ckpt/1", "repro.ckpt/2", CHECKPOINT_FORMAT)
 
 _CKPT_NAME = re.compile(r"^ckpt-(\d+)\.npz$")
 
@@ -95,6 +101,17 @@ class ServiceCheckpoint:
         unsubscribe barriers the service had committed. A resumed
         service continues numbering from here, so a scripted churn
         schedule can skip the ops the checkpoint already contains.
+    frontend_pending:
+        Sketch-once mode only: the service front end's buffered cell
+        ids (frames not yet forming a whole basic window). ``None``
+        when the snapshot was taken in self-sketching mode (the same
+        frames then live in each worker's monitor buffer instead).
+    frontend_flushed:
+        Whether the front end had flushed the stream.
+    frontend_windows / frontend_frames:
+        The front end's absolute stream clock (whole windows / frames
+        emitted). ``-1`` marks "no front-end state recorded" — the
+        sentinel legacy archives load with.
     """
 
     config: DetectorConfig
@@ -106,10 +123,19 @@ class ServiceCheckpoint:
     worker_states: List[Dict[str, np.ndarray]]
     matches: List[Match]
     epoch: int = 0
+    frontend_pending: Optional[np.ndarray] = None
+    frontend_flushed: bool = False
+    frontend_windows: int = -1
+    frontend_frames: int = -1
 
     @property
     def num_workers(self) -> int:
         return len(self.worker_states)
+
+    @property
+    def has_frontend(self) -> bool:
+        """Whether the snapshot carries sketch-once front-end state."""
+        return self.frontend_frames >= 0
 
     def worker_epochs(self) -> List[int]:
         """Per-shard lifecycle epochs recorded in the worker states."""
@@ -211,6 +237,16 @@ class CheckpointManager:
                 [checkpoint.keyframes_per_second], dtype=np.float64
             ),
             "strategy": np.asarray([checkpoint.strategy], dtype=object),
+            "frontend_pending": (
+                np.empty(0, dtype=np.int64)
+                if checkpoint.frontend_pending is None
+                else np.asarray(checkpoint.frontend_pending, dtype=np.int64)
+            ),
+            "frontend_flushed": np.asarray(
+                [int(checkpoint.frontend_flushed)]
+            ),
+            "frontend_windows": np.asarray([checkpoint.frontend_windows]),
+            "frontend_frames": np.asarray([checkpoint.frontend_frames]),
             **detector_config_payload(checkpoint.config),
             **_matches_payload(checkpoint.matches),
         }
@@ -228,7 +264,12 @@ class CheckpointManager:
                 payload[f"w{index}_{key}"] = value
         tmp = path.with_name(path.name + ".tmp")
         with open(tmp, "wb") as handle:
-            np.savez_compressed(handle, **payload, allow_pickle=True)
+            # NOTE: no allow_pickle kwarg — np.savez_compressed treats
+            # every keyword as an array to store, so passing it used to
+            # embed a spurious "allow_pickle" member in each archive
+            # (object arrays are pickled by default on save anyway; it
+            # is the *load* side that must opt in).
+            np.savez_compressed(handle, **payload)
         os.replace(tmp, path)
         return path
 
@@ -281,6 +322,12 @@ class CheckpointManager:
                     config, expected_config, source=f"checkpoint {path}"
                 )
             num_workers = int(archive["num_workers"][0])
+            # Archives written by older builds carry a spurious
+            # "allow_pickle" member (a save-side kwarg bug); it is not
+            # part of the payload and must never reach a state dict.
+            member_names = [
+                name for name in archive.files if name != "allow_pickle"
+            ]
             worker_queries = []
             worker_states: List[Dict[str, np.ndarray]] = []
             for index in range(num_workers):
@@ -296,11 +343,15 @@ class CheckpointManager:
                 worker_states.append(
                     {
                         key[len(prefix):]: archive[key]
-                        for key in archive.files
+                        for key in member_names
                         if key.startswith(prefix)
                         and not key.startswith(skip)
                     }
                 )
+            has_frontend = "frontend_frames" in member_names
+            frontend_frames = (
+                int(archive["frontend_frames"][0]) if has_frontend else -1
+            )
             checkpoint = ServiceCheckpoint(
                 config=config,
                 keyframes_per_second=float(
@@ -315,6 +366,22 @@ class CheckpointManager:
                 epoch=(
                     int(archive["epoch"][0]) if "epoch" in archive.files else 0
                 ),
+                frontend_pending=(
+                    np.asarray(archive["frontend_pending"], dtype=np.int64)
+                    if frontend_frames >= 0
+                    else None
+                ),
+                frontend_flushed=(
+                    bool(int(archive["frontend_flushed"][0]))
+                    if has_frontend
+                    else False
+                ),
+                frontend_windows=(
+                    int(archive["frontend_windows"][0])
+                    if has_frontend
+                    else -1
+                ),
+                frontend_frames=frontend_frames,
             )
         except PersistenceError:
             raise

@@ -36,8 +36,9 @@ from __future__ import annotations
 import pathlib
 import queue as queue_module
 import threading
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -50,6 +51,7 @@ from repro.obs.merge import merge_snapshots
 from repro.obs.registry import MetricsRegistry
 from repro.serve.checkpoint import CheckpointManager, ServiceCheckpoint
 from repro.serve.collector import MatchCollector
+from repro.serve.frontend import StreamFrontend
 from repro.serve.planner import ShardPlanner
 from repro.serve.queues import (
     BackpressurePolicy,
@@ -58,6 +60,7 @@ from repro.serve.queues import (
     put_with_policy,
     queue_depth,
 )
+from repro.serve.shm import ShmBatchRing, shm_available
 from repro.serve.workers import ShardWorker, WorkerSpec, _worker_loop
 
 __all__ = ["BACKENDS", "DetectionService", "QueryInfo"]
@@ -221,6 +224,19 @@ class DetectionService:
         Optional service-level registry for the ``serve.*`` metrics.
     timing_enabled:
         Whether worker registries record phase wall-clock.
+    sketch_once:
+        When True (the default), the stream front end — window
+        construction, min-hash sketching and (in no-index bit mode)
+        packed plane encoding — runs **once** in the service
+        (:class:`~repro.serve.frontend.StreamFrontend`), and workers
+        receive precomputed ``WindowBatch`` payloads instead of raw
+        chunks; on the process backend the batch arrays travel through
+        a shared-memory ring (:mod:`repro.serve.shm`). When False the
+        service runs the original self-sketching protocol — the
+        bit-for-bit reference the equivalence suite compares against.
+    batch_chunks:
+        Sketch-once mode: how many consecutive chunks share one
+        ``WindowBatch`` (one sketch pass, one queue hop per worker).
     """
 
     def __init__(
@@ -236,6 +252,8 @@ class DetectionService:
         policy: BackpressurePolicy = BackpressurePolicy.BLOCK,
         registry: Optional[MetricsRegistry] = None,
         timing_enabled: bool = True,
+        sketch_once: bool = True,
+        batch_chunks: int = 4,
         _checkpoint: Optional[ServiceCheckpoint] = None,
     ) -> None:
         if backend not in BACKENDS:
@@ -299,6 +317,30 @@ class DetectionService:
             # horizon; keep it so restored candidate ages stay legal.
             self.cap_hint = _checkpoint.cap_hint
 
+        self.sketch_once = bool(sketch_once)
+        self.batch_chunks = max(1, int(batch_chunks))
+        self._frontend: Optional[StreamFrontend] = None
+        self._ring: Optional[ShmBatchRing] = None
+        if self.sketch_once:
+            self._frontend = StreamFrontend(
+                config=config,
+                family=self._family,
+                window_frames=self.window_frames,
+                registry=self.registry,
+            )
+            self._frontend.set_queries(self._queries)
+            if _checkpoint is not None:
+                states = self._restore_frontend(_checkpoint, states)
+        elif _checkpoint is not None and _checkpoint.has_frontend:
+            # A sketch-once snapshot resumed in self-sketching mode:
+            # hand the front end's undigested buffer back to every
+            # worker's monitor (they all buffer the identical stream).
+            states = [dict(state) for state in states]
+            for state in states:
+                state["pending"] = np.asarray(
+                    _checkpoint.frontend_pending, dtype=np.int64
+                )
+
         worker_epochs = (
             [self.epoch] * len(shard_queries)
             if _checkpoint is None
@@ -324,8 +366,58 @@ class DetectionService:
         else:
             self._executor = _ProcessExecutor(specs, queue_capacity)
         self.num_workers = len(specs)
+        if (
+            self.sketch_once
+            and backend == "process"
+            and shm_available()
+        ):
+            # Enough slots for every batch that can be in flight at
+            # once: queue_capacity queued + one in processing + one
+            # being published.
+            self._ring = ShmBatchRing(queue_capacity + 2)
         self._planner = ShardPlanner(self.num_workers, strategy)
         self._update_query_gauges()
+
+    def _restore_frontend(
+        self,
+        checkpoint: ServiceCheckpoint,
+        states: List[Optional[Dict[str, np.ndarray]]],
+    ) -> List[Optional[Dict[str, np.ndarray]]]:
+        """Reinstate (or migrate) the front end's stream state.
+
+        A ``repro.ckpt/3`` sketch-once snapshot restores directly. A
+        legacy (or self-sketching) snapshot kept the undigested buffer
+        in every worker's monitor instead: worker 0's buffer becomes
+        the front-end buffer, the front-end clock is derived from
+        worker 0's replicated stream counters, and the workers' own
+        buffers are emptied (batches now arrive pre-cut).
+        """
+        frontend = self._frontend
+        if checkpoint.has_frontend:
+            frontend.restore(
+                checkpoint.frontend_pending,
+                checkpoint.frontend_flushed,
+                checkpoint.frontend_windows,
+                checkpoint.frontend_frames,
+            )
+            return states
+        state = states[0]
+        counters = dict(
+            zip(
+                (str(name) for name in state["reg_counter_names"]),
+                (int(value) for value in state["reg_counter_values"]),
+            )
+        )
+        frontend.restore(
+            pending=np.asarray(state["pending"], dtype=np.int64),
+            flushed=bool(int(state["flushed"][0])),
+            windows_emitted=counters.get("engine.windows_processed", 0),
+            frames_emitted=counters.get("stream.frames_processed", 0),
+        )
+        migrated = [dict(other) for other in states]
+        for other in migrated:
+            other["pending"] = np.empty(0, dtype=np.int64)
+        return migrated
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -342,6 +434,8 @@ class DetectionService:
         policy: BackpressurePolicy = BackpressurePolicy.BLOCK,
         registry: Optional[MetricsRegistry] = None,
         timing_enabled: bool = True,
+        sketch_once: bool = True,
+        batch_chunks: int = 4,
     ) -> "DetectionService":
         """Rebuild a service from a checkpoint and continue mid-stream.
 
@@ -351,6 +445,9 @@ class DetectionService:
         assignment, counters, candidate state and collected matches:
         re-feeding the stream from ``chunks_ingested`` yields exactly
         the match stream an uninterrupted run would have produced.
+        Snapshots migrate freely between ``sketch_once`` modes: the
+        undigested stream buffer moves between the front end and the
+        worker monitors, whichever side the resumed service sketches on.
         """
         if isinstance(source, ServiceCheckpoint):
             checkpoint = source
@@ -375,6 +472,8 @@ class DetectionService:
             policy=policy,
             registry=registry,
             timing_enabled=timing_enabled,
+            sketch_once=sketch_once,
+            batch_chunks=batch_chunks,
             _checkpoint=checkpoint,
         )
 
@@ -406,26 +505,55 @@ class DetectionService:
         for worker_id in range(self.num_workers):
             self._expect(worker_id, "ok")
 
-    def _account(self, worker_id: int, outcome: PutOutcome) -> List[int]:
-        """Record one chunk put's metrics; return stolen chunk seqs."""
+    def _record_put(
+        self, worker_id: int, outcome: PutOutcome, num_chunks: int
+    ) -> None:
         registry = self.registry
         if outcome.delivered:
-            registry.inc(f"serve.chunks_delivered.w{worker_id}")
+            registry.inc(f"serve.chunks_delivered.w{worker_id}", num_chunks)
         else:
-            registry.inc(f"serve.chunks_shed.w{worker_id}")
+            registry.inc(f"serve.chunks_shed.w{worker_id}", num_chunks)
         if outcome.blocked_seconds:
             registry.inc(f"serve.backpressure_blocks.w{worker_id}")
             timer = registry.timer(f"serve.blocked.w{worker_id}")
             timer.calls += 1
             timer.seconds += outcome.blocked_seconds
-        stolen = []
-        for item in outcome.dropped:
-            if isinstance(item, tuple) and item and item[0] == "chunk":
-                registry.inc(f"serve.chunks_dropped.w{worker_id}")
-                stolen.append(item[1])
         depth = self._executor.depth(worker_id)
         if depth is not None:
             registry.set_gauge(f"serve.queue_depth.w{worker_id}", depth)
+
+    def _account(self, worker_id: int, outcome: PutOutcome) -> List[int]:
+        """Record one chunk put's metrics; return stolen chunk seqs."""
+        self._record_put(worker_id, outcome, 1)
+        stolen = []
+        for item in outcome.dropped:
+            if isinstance(item, tuple) and item and item[0] == "chunk":
+                self.registry.inc(f"serve.chunks_dropped.w{worker_id}")
+                stolen.append(item[1])
+        return stolen
+
+    def _account_batch(
+        self, worker_id: int, outcome: PutOutcome, num_chunks: int
+    ) -> List[Tuple[int, Optional[int]]]:
+        """Record one batch put; return stolen ``(base_seq, slot)``."""
+        self._record_put(worker_id, outcome, num_chunks)
+        stolen: List[Tuple[int, Optional[int]]] = []
+        for item in outcome.dropped:
+            if not (isinstance(item, tuple) and item):
+                continue
+            if item[0] == "batch":
+                batch = item[1]
+                self.registry.inc(
+                    f"serve.chunks_dropped.w{worker_id}", batch.num_chunks
+                )
+                stolen.append((batch.base_seq, None))
+            elif item[0] == "batch_shm":
+                descriptor = item[1]
+                self.registry.inc(
+                    f"serve.chunks_dropped.w{worker_id}",
+                    descriptor.num_chunks,
+                )
+                stolen.append((descriptor.base_seq, descriptor.slot))
         return stolen
 
     # ------------------------------------------------------------------
@@ -461,6 +589,19 @@ class DetectionService:
         chunk_arrays = [
             np.asarray(chunk, dtype=np.int64) for chunk in chunks
         ]
+        if self._frontend is not None:
+            merged = self._run_sketch_once(chunk_arrays)
+        else:
+            merged = self._run_reference(chunk_arrays)
+        self.chunks_ingested += len(chunk_arrays)
+        if flush:
+            merged.extend(self.flush())
+        return merged
+
+    def _run_reference(
+        self, chunk_arrays: List[np.ndarray]
+    ) -> List[Match]:
+        """Self-sketching protocol: replicate raw chunks to every shard."""
         outstanding: List[Set[int]] = [
             set() for _ in range(self.num_workers)
         ]
@@ -482,16 +623,118 @@ class DetectionService:
             for _ in range(len(outstanding[worker_id])):
                 reply = self._expect(worker_id, "matches")
                 results[worker_id][reply[2]] = reply[3]
+        return self._merge_results(results, len(chunk_arrays))
+
+    def _run_sketch_once(
+        self, chunk_arrays: List[np.ndarray]
+    ) -> List[Match]:
+        """Sketch-once protocol: build each batch once, fan out payloads.
+
+        The front end cuts and sketches the windows of ``batch_chunks``
+        consecutive chunks in one pass; the resulting ``WindowBatch``
+        travels to every worker (through the shared-memory ring on the
+        process backend). Replies arrive in order per worker, so the
+        oldest outstanding batch is always the next drainable one —
+        which is also how ring slots are freed under pressure.
+        """
+        num_workers = self.num_workers
+        registry = self.registry
+        # Per worker: FIFO of (base_seq, slot) batches awaiting replies.
+        outstanding: List[Deque[Tuple[int, Optional[int]]]] = [
+            deque() for _ in range(num_workers)
+        ]
+        results: List[Dict[int, List[Match]]] = [
+            {} for _ in range(num_workers)
+        ]
+
+        def drain_one(worker_id: int) -> None:
+            reply = self._expect(worker_id, "matches_batch")
+            base_seq, match_lists = reply[2], reply[3]
+            head_seq, slot = outstanding[worker_id].popleft()
+            if head_seq != base_seq:
+                raise ServeError(
+                    f"worker {worker_id} replied for batch {base_seq}, "
+                    f"expected {head_seq}"
+                )
+            for offset, matches in enumerate(match_lists):
+                results[worker_id][base_seq + offset] = matches
+            if slot is not None:
+                self._ring.release(slot)
+
+        def drain_oldest() -> None:
+            # Free a ring slot by consuming the reply for the oldest
+            # in-flight batch; workers reply into unbounded outboxes,
+            # so this always makes progress.
+            candidates = [
+                (pending[0][0], worker_id)
+                for worker_id, pending in enumerate(outstanding)
+                if pending
+            ]
+            if not candidates:
+                raise ServeError(
+                    "shared-memory ring exhausted with no outstanding "
+                    "batches to drain"
+                )
+            registry.inc("serve.transport.shm_waits")
+            drain_one(min(candidates)[1])
+
+        for base in range(0, len(chunk_arrays), self.batch_chunks):
+            group = chunk_arrays[base : base + self.batch_chunks]
+            batch = self._frontend.build(group, base)
+            registry.inc("serve.transport.batches")
+            registry.inc("serve.transport.chunks", len(group))
+            registry.inc("serve.transport.windows", batch.num_windows)
+            slot: Optional[int] = None
+            if self._ring is not None:
+                descriptor = self._ring.publish(
+                    batch, refs=num_workers, wait_for_slot=drain_oldest
+                )
+                slot = descriptor.slot
+                message: Tuple = ("batch_shm", descriptor)
+                registry.inc(
+                    "serve.transport.shm_bytes", descriptor.total_bytes
+                )
+            else:
+                message = ("batch", batch)
+                registry.inc("serve.transport.inline_bytes", batch.nbytes)
+            for worker_id in range(num_workers):
+                outcome = self._executor.send(
+                    worker_id, message, self.policy
+                )
+                if outcome.delivered:
+                    outstanding[worker_id].append((base, slot))
+                elif slot is not None:
+                    self._ring.release(slot)
+                stolen = self._account_batch(
+                    worker_id, outcome, len(group)
+                )
+                for stolen_seq, stolen_slot in stolen:
+                    outstanding[worker_id].remove(
+                        (stolen_seq, stolen_slot)
+                    )
+                    if stolen_slot is not None:
+                        self._ring.release(stolen_slot)
+            registry.inc("serve.chunks_ingested", len(group))
+        for worker_id in range(num_workers):
+            while outstanding[worker_id]:
+                drain_one(worker_id)
+        return self._merge_results(results, len(chunk_arrays))
+
+    def _merge_results(
+        self,
+        results: List[Dict[int, List[Match]]],
+        num_chunks: int,
+    ) -> List[Match]:
         merged: List[Match] = []
-        for seq in range(len(chunk_arrays)):
+        for seq in range(num_chunks):
             merged.extend(
                 self.collector.merge(
-                    [results[w].get(seq, []) for w in range(self.num_workers)]
+                    [
+                        results[w].get(seq, [])
+                        for w in range(self.num_workers)
+                    ]
                 )
             )
-        self.chunks_ingested += len(chunk_arrays)
-        if flush:
-            merged.extend(self.flush())
         return merged
 
     def flush(self) -> List[Match]:
@@ -499,9 +742,15 @@ class DetectionService:
         self._require_open()
         if self._flushed:
             return []
+        if self._frontend is not None:
+            # The tail is sketched (and plane-encoded) once, service
+            # side; it is small, so it travels inline on any backend.
+            message: Tuple = ("flush", self._frontend.flush_tail())
+        else:
+            message = ("flush",)
         for worker_id in range(self.num_workers):
             self._executor.send(
-                worker_id, ("flush",), BackpressurePolicy.BLOCK
+                worker_id, message, BackpressurePolicy.BLOCK
             )
         batches = []
         for worker_id in range(self.num_workers):
@@ -589,6 +838,8 @@ class DetectionService:
         self._shard_qids[target].add(query.qid)
         self._queries[query.qid] = query
         self._caps[query.qid] = cap
+        if self._frontend is not None:
+            self._frontend.set_queries(self._queries)
         self.registry.inc("serve.queries.subscribed")
         self._update_query_gauges()
         return target
@@ -616,6 +867,8 @@ class DetectionService:
         self._shard_qids[worker_id].discard(qid)
         del self._queries[qid]
         del self._caps[qid]
+        if self._frontend is not None:
+            self._frontend.set_queries(self._queries)
         self.registry.inc("serve.queries.unsubscribed")
         self._update_query_gauges()
 
@@ -685,6 +938,13 @@ class DetectionService:
             "chunks_ingested": self.chunks_ingested,
             "matches_collected": len(self.collector),
             "shards": [sorted(qids) for qids in self._shard_qids],
+            "sketch_once": self.sketch_once,
+            "batch_chunks": self.batch_chunks,
+            "transport": (
+                "shm_ring"
+                if self._ring is not None
+                else ("batch_inline" if self.sketch_once else "chunk")
+            ),
         }
         return merged
 
@@ -723,6 +983,16 @@ class DetectionService:
                     [self._queries[qid] for qid in shard_qids], self._family
                 )
             )
+        if self._frontend is not None:
+            pending, flushed, windows, frames = self._frontend.state()
+            frontend_fields = {
+                "frontend_pending": pending,
+                "frontend_flushed": flushed,
+                "frontend_windows": windows,
+                "frontend_frames": frames,
+            }
+        else:
+            frontend_fields = {}
         return manager.save(
             ServiceCheckpoint(
                 config=self.config,
@@ -734,6 +1004,7 @@ class DetectionService:
                 worker_states=states,
                 matches=list(self.collector.matches),
                 epoch=self.epoch,
+                **frontend_fields,
             )
         )
 
@@ -761,6 +1032,8 @@ class DetectionService:
             except Exception:
                 continue
         self._executor.join()
+        if self._ring is not None:
+            self._ring.close()
 
     def __enter__(self) -> "DetectionService":
         return self

@@ -1,0 +1,357 @@
+"""Shared-memory ring transport for :class:`WindowBatch` fan-out.
+
+The process backend used to pickle every raw chunk once per worker —
+O(workers × chunk bytes) of serialization on the hot path. With the
+sketch-once front end the payload is a handful of flat numpy arrays, so
+the service instead writes them **once** into a reusable
+``multiprocessing.shared_memory`` slot and sends each worker only a tiny
+picklable :class:`BatchDescriptor`; workers map the slot and build
+zero-copy array views over it.
+
+Slot lifecycle (producer side, :class:`ShmBatchRing`):
+
+* ``publish`` finds a slot with no outstanding references (growing or
+  allocating it as needed — a grown slot gets a fresh name so stale
+  worker attachments can never alias it), copies the batch arrays in,
+  and arms the reference count with one reference per intended
+  delivery.
+* The service releases one reference per worker reply — or immediately
+  for a shed/stolen delivery. A slot is reusable once its count is
+  zero, which is safe because workers copy what they keep: the sketch
+  matrix is copied on receipt and plane rows are fancy-indexed (which
+  copies) down to the shard's qids, so no view into the slot survives
+  the handling of its message.
+* When every slot is busy the producer drains one worker reply first
+  (workers reply into unbounded outboxes, so this cannot deadlock);
+  each such wait is counted as ``serve.transport.shm_waits``.
+
+Worker side, :class:`ShmBatchReader`: attaches slots lazily, caches the
+mapping per slot id, swaps the attachment when a descriptor carries a
+new name (slot growth), and detaches from the resource tracker so the
+worker's exit cannot unlink memory the producer still owns.
+
+When ``multiprocessing.shared_memory`` is unavailable the service falls
+back to pickling the :class:`WindowBatch` inline — same protocol, no
+zero-copy.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.frontend import WindowBatch
+
+try:  # pragma: no cover - import guard for exotic builds
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "BatchDescriptor",
+    "ShmBatchReader",
+    "ShmBatchRing",
+    "shm_available",
+]
+
+#: The WindowBatch array fields that travel through shared memory, in
+#: the order they are laid out inside a slot.
+_ARRAY_FIELDS = (
+    "chunk_windows",
+    "indices",
+    "starts",
+    "frames",
+    "sketch_values",
+    "ge",
+    "lt",
+)
+
+
+def shm_available() -> bool:
+    """Whether the shared-memory transport can be used at all."""
+    return _shared_memory is not None
+
+
+#: Segment names created by a ring in *this* process. An in-process
+#: reader (serial tests) must not untrack them — the producer's own
+#: tracker registration is the one that matters.
+_OWNED_NAMES: set = set()
+
+#: True in a forked child that inherited an already-running resource
+#: tracker from its parent. Such a child must not unregister attached
+#: segments: the registration it shares belongs to the producer, whose
+#: later unlink would then double-unregister (noisy KeyError inside
+#: the tracker process). A child whose tracker starts fresh (spawn, or
+#: fork before the parent ever registered anything) has its *own*
+#: tracker, which would unlink the producer's live segments at exit —
+#: there the unregister is required.
+_INHERITED_TRACKER = False
+
+
+def _note_tracker_inheritance() -> None:  # pragma: no cover - fork hook
+    global _INHERITED_TRACKER
+    try:
+        from multiprocessing import resource_tracker
+
+        _INHERITED_TRACKER = (
+            getattr(resource_tracker._resource_tracker, "_fd", None)
+            is not None
+        )
+    except Exception:
+        _INHERITED_TRACKER = False
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix
+    os.register_at_fork(after_in_child=_note_tracker_inheritance)
+
+
+def _untrack(shm) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    Only the creating process may unlink; without this, a worker whose
+    own tracker outlives the attachment would unlink segments the
+    producer still serves to its siblings. Skipped when the tracker is
+    shared with the producer (see :data:`_INHERITED_TRACKER`).
+    """
+    if shm._name.lstrip("/") in _OWNED_NAMES:
+        return
+    if _INHERITED_TRACKER:
+        return
+    try:  # pragma: no cover - tracker internals vary across versions
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True)
+class BatchDescriptor:
+    """Everything a worker needs to rebuild a batch from a slot.
+
+    Attributes
+    ----------
+    slot:
+        Ring slot index (stable attachment-cache key).
+    name:
+        The slot's current shared-memory segment name; changes when the
+        slot is grown, telling workers to re-attach.
+    base_seq:
+        Mirror of :attr:`WindowBatch.base_seq` so the service can track
+        outstanding batches without reading the slot back.
+    num_chunks:
+        Mirror of :attr:`WindowBatch.num_chunks` (drop accounting).
+    plane_qids:
+        The plane row layout (inline — it is a small tuple of ints).
+    fields:
+        ``(field, dtype, shape, offset)`` per shipped array.
+    total_bytes:
+        Payload size in bytes (transport accounting).
+    """
+
+    slot: int
+    name: str
+    base_seq: int
+    num_chunks: int
+    plane_qids: Optional[Tuple[int, ...]]
+    fields: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+    total_bytes: int
+
+
+class _Slot:
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.shm = None
+        self.capacity = 0
+        self.refs = 0
+        self.generation = 0
+
+    def ensure(self, nbytes: int) -> None:
+        if self.shm is not None and self.capacity >= nbytes:
+            return
+        if self.shm is not None:
+            self.shm.close()
+            self.shm.unlink()
+            _OWNED_NAMES.discard(self.shm.name)
+        size = max(1, nbytes)
+        self.generation += 1
+        self.shm = _shared_memory.SharedMemory(create=True, size=size)
+        _OWNED_NAMES.add(self.shm.name)
+        self.capacity = size
+
+    def close(self) -> None:
+        if self.shm is None:
+            return
+        try:
+            self.shm.close()
+            self.shm.unlink()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+        _OWNED_NAMES.discard(self.shm.name)
+        self.shm = None
+        self.capacity = 0
+
+
+class ShmBatchRing:
+    """Producer-side ring of reusable shared-memory batch slots."""
+
+    def __init__(self, num_slots: int) -> None:
+        if _shared_memory is None:  # pragma: no cover
+            raise ServeError(
+                "multiprocessing.shared_memory is unavailable"
+            )
+        if num_slots < 1:
+            raise ServeError(
+                f"ring needs at least one slot, got {num_slots}"
+            )
+        self._slots = [_Slot(index) for index in range(num_slots)]
+        self._closed = False
+
+    @property
+    def num_slots(self) -> int:
+        return len(self._slots)
+
+    def _free_slot(self) -> Optional[_Slot]:
+        for slot in self._slots:
+            if slot.refs == 0:
+                return slot
+        return None
+
+    def publish(
+        self,
+        batch: WindowBatch,
+        refs: int,
+        wait_for_slot: Callable[[], None],
+    ) -> BatchDescriptor:
+        """Write ``batch`` into a free slot; arm ``refs`` references.
+
+        ``wait_for_slot`` is invoked (repeatedly if needed) while every
+        slot has outstanding references; it must release at least one
+        reference — the service drains one worker reply per call.
+        """
+        if self._closed:
+            raise ServeError("the shared-memory ring has been closed")
+        arrays: List[Tuple[str, np.ndarray]] = []
+        for field_name in _ARRAY_FIELDS:
+            value = getattr(batch, field_name)
+            if value is not None:
+                arrays.append(
+                    (field_name, np.ascontiguousarray(value))
+                )
+        total = sum(array.nbytes for _, array in arrays)
+        slot = self._free_slot()
+        while slot is None:
+            wait_for_slot()
+            slot = self._free_slot()
+        slot.ensure(total)
+        fields: List[Tuple[str, str, Tuple[int, ...], int]] = []
+        offset = 0
+        buffer = slot.shm.buf
+        for field_name, array in arrays:
+            nbytes = array.nbytes
+            if nbytes:
+                destination = np.frombuffer(
+                    buffer,
+                    dtype=array.dtype,
+                    count=array.size,
+                    offset=offset,
+                ).reshape(array.shape)
+                np.copyto(destination, array)
+                del destination
+            fields.append(
+                (field_name, array.dtype.str, array.shape, offset)
+            )
+            offset += nbytes
+        slot.refs = int(refs)
+        return BatchDescriptor(
+            slot=slot.index,
+            name=slot.shm.name,
+            base_seq=batch.base_seq,
+            num_chunks=batch.num_chunks,
+            plane_qids=batch.plane_qids,
+            fields=tuple(fields),
+            total_bytes=total,
+        )
+
+    def release(self, slot_index: int) -> None:
+        """Drop one reference on a slot (reply drained / delivery lost)."""
+        slot = self._slots[slot_index]
+        if slot.refs <= 0:
+            raise ServeError(
+                f"slot {slot_index} released more times than referenced"
+            )
+        slot.refs -= 1
+
+    def close(self) -> None:
+        """Unlink every slot. Call after the workers have stopped."""
+        if self._closed:
+            return
+        self._closed = True
+        for slot in self._slots:
+            slot.close()
+
+
+class ShmBatchReader:
+    """Worker-side attachment cache and batch decoder."""
+
+    def __init__(self) -> None:
+        self._attached: Dict[int, Tuple[str, object]] = {}
+
+    def _segment(self, descriptor: BatchDescriptor):
+        cached = self._attached.get(descriptor.slot)
+        if cached is not None and cached[0] == descriptor.name:
+            return cached[1]
+        if cached is not None:
+            try:
+                cached[1].close()
+            except Exception:  # pragma: no cover
+                pass
+        try:
+            shm = _shared_memory.SharedMemory(
+                name=descriptor.name, track=False
+            )
+        except TypeError:  # pragma: no cover - Python < 3.13
+            shm = _shared_memory.SharedMemory(name=descriptor.name)
+            _untrack(shm)
+        self._attached[descriptor.slot] = (descriptor.name, shm)
+        return shm
+
+    def read(self, descriptor: BatchDescriptor) -> WindowBatch:
+        """Rebuild the batch as zero-copy views over the slot.
+
+        The views are only valid while the message is being handled;
+        the worker copies anything it retains (see module docstring).
+        """
+        shm = self._segment(descriptor)
+        values: Dict[str, Optional[np.ndarray]] = {
+            name: None for name in _ARRAY_FIELDS
+        }
+        for field_name, dtype, shape, offset in descriptor.fields:
+            count = int(np.prod(shape, dtype=np.int64))
+            values[field_name] = np.frombuffer(
+                shm.buf, dtype=np.dtype(dtype), count=count, offset=offset
+            ).reshape(shape)
+        return WindowBatch(
+            base_seq=descriptor.base_seq,
+            chunk_windows=values["chunk_windows"],
+            indices=values["indices"],
+            starts=values["starts"],
+            frames=values["frames"],
+            sketch_values=values["sketch_values"],
+            plane_qids=descriptor.plane_qids,
+            ge=values["ge"],
+            lt=values["lt"],
+        )
+
+    def close(self) -> None:
+        """Detach from every cached slot (worker shutdown)."""
+        for _, shm in self._attached.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+        self._attached.clear()

@@ -17,7 +17,11 @@ lock step without extra sequencing:
 request                             reply
 ==================================  =====================================
 ``("chunk", seq, cell_ids)``        ``("matches", wid, seq, [Match, ...])``
+``("batch", WindowBatch)``          ``("matches_batch", wid, base_seq,
+                                    [[Match, ...], ...])``
+``("batch_shm", BatchDescriptor)``  same as ``batch``
 ``("flush",)``                      ``("flushed", wid, [Match, ...])``
+``("flush", TailWindow | None)``    ``("flushed", wid, [Match, ...])``
 ``("lifecycle", epoch, ops, hint)`` ``("ok", wid)``
 ``("subscribe", query)``            ``("ok", wid)``
 ``("unsubscribe", qid)``            ``("ok", wid)``
@@ -26,6 +30,22 @@ request                             reply
 ``("snapshot",)``                   ``("snapshot", wid, {...})``
 ``("stop",)``                       ``("stopped", wid)``
 ==================================  =====================================
+
+``chunk`` is the self-sketching reference path: the worker's
+:class:`LiveMonitor` buffers the raw cell ids and re-sketches every
+window locally. ``batch`` is the sketch-once fan-out: the service's
+:class:`~repro.serve.frontend.StreamFrontend` already built the
+windows, so the worker rebuilds each :class:`BasicWindow` from the
+shipped sketch rows (copying the small ``(nw, K)`` matrix once — the
+scalar engines retain sketch references across windows, so the rows
+must be worker-owned) and, when planes were precomputed, slices its
+shard's plane rows out of the ``(nw, Q, W)`` arrays by qid (fancy
+indexing, which also copies). The reply carries one match list per
+chunk of the batch so the service can merge per stream sequence.
+``batch_shm`` is the same payload delivered as a shared-memory
+descriptor (process backend); no view into the segment survives the
+message. The extended ``flush`` carries the front end's partial tail
+window (or ``None``); the bare form remains the reference path's.
 
 ``lifecycle`` is the epoch barrier of the query-admission control
 plane (see ``docs/serving.md``): the service broadcasts one message per
@@ -48,7 +68,7 @@ control message cannot orphan a process worker mid-stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -56,11 +76,19 @@ from repro.config import DetectorConfig
 from repro.core.detector import StreamingDetector
 from repro.core.live import LiveMonitor
 from repro.core.query import QuerySet
+from repro.core.results import Match
+from repro.minhash.sketch import Sketch
+from repro.minhash.windows import BasicWindow
 from repro.obs.export import snapshot
 from repro.obs.registry import MetricsRegistry
+from repro.serve.frontend import TailWindow, WindowBatch
 from repro.serve.state import restore_worker_state, worker_state
 
 __all__ = ["ShardWorker", "WorkerSpec"]
+
+#: Batched windows ship no cell ids — nothing downstream of sketching
+#: reads them (the sketch and the planes are the stream's fingerprint).
+_EMPTY_CELL_IDS = np.empty(0, dtype=np.int64)
 
 
 @dataclass
@@ -116,6 +144,8 @@ class ShardWorker:
         )
         self.monitor = LiveMonitor(self.detector)
         self.epoch = int(spec.epoch)
+        self._shm_reader = None
+        self._plane_rows_cache: Optional[Tuple[Tuple, np.ndarray]] = None
         if spec.state is not None:
             restore_worker_state(self.detector, self.monitor, spec.state)
 
@@ -134,8 +164,29 @@ class ShardWorker:
                 np.asarray(cell_ids, dtype=np.int64)
             )
             return ("matches", self.worker_id, seq, matches)
+        if kind == "batch":
+            batch = message[1]
+            return (
+                "matches_batch",
+                self.worker_id,
+                batch.base_seq,
+                self._process_batch(batch),
+            )
+        if kind == "batch_shm":
+            batch = self._decode_shm(message[1])
+            return (
+                "matches_batch",
+                self.worker_id,
+                batch.base_seq,
+                self._process_batch(batch),
+            )
         if kind == "flush":
-            return ("flushed", self.worker_id, self.monitor.flush())
+            tail = message[1] if len(message) > 1 else None
+            matches: List[Match] = []
+            if tail is not None:
+                matches.extend(self._process_tail(tail))
+            matches.extend(self.monitor.flush())
+            return ("flushed", self.worker_id, matches)
         if kind == "lifecycle":
             _, epoch, ops, cap_hint = message
             for op in ops:
@@ -167,6 +218,107 @@ class ShardWorker:
             return ("stopped", self.worker_id)
         return ("error", self.worker_id, f"unknown message kind {kind!r}")
 
+    # ------------------------------------------------------------------
+    # sketch-once batch handling
+    # ------------------------------------------------------------------
+
+    def _decode_shm(self, descriptor) -> WindowBatch:
+        if self._shm_reader is None:
+            from repro.serve.shm import ShmBatchReader
+
+            self._shm_reader = ShmBatchReader()
+        return self._shm_reader.read(descriptor)
+
+    def _plane_rows(
+        self, plane_qids: Optional[Tuple[int, ...]]
+    ) -> Optional[np.ndarray]:
+        """Map this shard's sorted qids to rows of the batch planes.
+
+        Cached on ``(plane layout, shard layout)`` — either side changes
+        only at a lifecycle barrier, so the mapping is computed once per
+        epoch, not once per batch.
+        """
+        if plane_qids is None:
+            return None
+        shard_qids = self.detector.context.query_columns().qids
+        key = (plane_qids, shard_qids)
+        if (
+            self._plane_rows_cache is not None
+            and self._plane_rows_cache[0] == key
+        ):
+            return self._plane_rows_cache[1]
+        position = {qid: row for row, qid in enumerate(plane_qids)}
+        try:
+            rows = np.asarray(
+                [position[qid] for qid in shard_qids], dtype=np.intp
+            )
+        except KeyError as error:
+            raise ValueError(
+                f"batch planes are missing query {error}; the front "
+                "end's query layout is behind this shard's"
+            )
+        self._plane_rows_cache = (key, rows)
+        return rows
+
+    def _process_batch(self, batch: WindowBatch) -> List[List[Match]]:
+        """Run every precomputed window; one match list per chunk."""
+        detector = self.detector
+        fingerprint = detector.queries.family.fingerprint
+        # Worker-owned copy: scalar engines keep candidate sketches by
+        # reference, and a shared-memory row would be overwritten when
+        # the producer reuses the slot.
+        values = np.array(batch.sketch_values, dtype=np.int64)
+        rows = self._plane_rows(batch.plane_qids)
+        indices = batch.indices
+        starts = batch.starts
+        frames = batch.frames
+        per_chunk: List[List[Match]] = []
+        position = 0
+        for count in batch.chunk_windows.tolist():
+            chunk_matches: List[Match] = []
+            for j in range(position, position + int(count)):
+                window = BasicWindow(
+                    index=int(indices[j]),
+                    start_frame=int(starts[j]),
+                    num_frames=int(frames[j]),
+                    cell_ids=_EMPTY_CELL_IDS,
+                    sketch=Sketch._raw(values[j], fingerprint),
+                )
+                planes = None
+                if rows is not None:
+                    # Fancy indexing copies the shard's rows out of the
+                    # (possibly shared-memory) planes.
+                    planes = (batch.ge[j][rows], batch.lt[j][rows])
+                chunk_matches.extend(
+                    detector.process_window(window, planes=planes)
+                )
+            position += int(count)
+            per_chunk.append(chunk_matches)
+        return per_chunk
+
+    def _process_tail(self, tail: TailWindow) -> List[Match]:
+        """Run the front end's final (possibly partial) window."""
+        fingerprint = self.detector.queries.family.fingerprint
+        values = np.array(tail.sketch_values, dtype=np.int64)
+        window = BasicWindow(
+            index=int(tail.index),
+            start_frame=int(tail.start_frame),
+            num_frames=int(tail.num_frames),
+            cell_ids=_EMPTY_CELL_IDS,
+            sketch=Sketch._raw(values, fingerprint),
+        )
+        rows = self._plane_rows(tail.plane_qids)
+        planes = None
+        if rows is not None:
+            planes = (tail.ge[rows], tail.lt[rows])
+        return self.detector.process_window(window, planes=planes)
+
+    def release_resources(self) -> None:
+        """Detach transport attachments (worker shutdown)."""
+        if self._shm_reader is not None:
+            self._shm_reader.close()
+            self._shm_reader = None
+
 
 def _worker_loop(spec: WorkerSpec, inbox, outbox) -> None:
     """Request/reply loop shared by the thread and process backends.
@@ -180,4 +332,5 @@ def _worker_loop(spec: WorkerSpec, inbox, outbox) -> None:
         reply = worker.handle(message)
         outbox.put(reply)
         if reply[0] == "stopped":
+            worker.release_resources()
             return

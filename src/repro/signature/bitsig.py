@@ -44,6 +44,7 @@ from repro.utils.bitops import count_ones, low_mask
 __all__ = [
     "BitSignature",
     "encode_planes",
+    "encode_planes_many",
     "pack_bool_planes",
     "plane_words",
     "planes_from_signature",
@@ -105,6 +106,23 @@ def encode_planes(
     """
     ge = pack_bool_planes(window_values[np.newaxis, :] <= query_matrix)
     lt = pack_bool_planes(window_values[np.newaxis, :] < query_matrix)
+    return ge, lt
+
+
+def encode_planes_many(
+    window_matrix: np.ndarray, query_matrix: np.ndarray
+) -> tuple:
+    """Packed planes for a whole *batch* of windows at once.
+
+    Compares ``(nw, K)`` window min-hash values against a ``(Q, K)``
+    query-value matrix and returns ``(ge, lt)`` planes of shape
+    ``(nw, Q, W)`` — row ``i`` equals ``encode_planes(window_matrix[i],
+    query_matrix)`` bit for bit. This is the sketch-once front end's
+    kernel: one broadcasted compare + pack covers every (window, query)
+    pair of a chunk batch, so per-shard workers never re-encode.
+    """
+    ge = pack_bool_planes(window_matrix[:, np.newaxis, :] <= query_matrix)
+    lt = pack_bool_planes(window_matrix[:, np.newaxis, :] < query_matrix)
     return ge, lt
 
 

@@ -132,7 +132,7 @@ def _initial_set(family, queries, frames, actions):
 
 
 def _run_service(config, family, queries, frames, chunks, actions,
-                 num_workers, backend="serial"):
+                 num_workers, backend="serial", sketch_once=True):
     """Drive a service through the workload; returns (service, applied).
 
     ``applied`` records which churn actions actually executed: an
@@ -146,6 +146,7 @@ def _run_service(config, family, queries, frames, chunks, actions,
         KEYFRAMES_PER_SECOND,
         num_workers=num_workers,
         backend=backend,
+        sketch_once=sketch_once,
     )
     applied = []  # (boundary, kind, qid) — kept aligned for the replay
     for position, chunk in enumerate(chunks):
@@ -203,6 +204,94 @@ def test_sharded_equals_serial(order, representation, use_index, workload):
         service.close()
 
 
+@pytest.mark.parametrize("order,representation,use_index", ALL_MODES)
+@settings(max_examples=5, deadline=None)
+@given(workload=workloads())
+def test_sketch_once_equals_self_sketching(
+    order, representation, use_index, workload
+):
+    """Precomputed ``WindowBatch`` payloads are bit-for-bit the
+    self-sketching reference: same merged matches, same counters
+    (``engine.signature_encodes`` included — the precomputed-planes
+    path must charge exactly what each shard's own encoder would)."""
+    family_seed, queries, frames, threshold, chunks, actions = workload
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=family_seed)
+    config = DetectorConfig(
+        num_hashes=NUM_HASHES,
+        threshold=threshold,
+        window_seconds=WINDOW_SECONDS,
+        order=order,
+        representation=representation,
+        use_index=use_index,
+        vectorized=True,
+    )
+    for num_workers in SHARD_COUNTS:
+        outputs = {}
+        for sketch_once in (False, True):
+            service, applied = _run_service(
+                config, family, queries, frames, chunks, actions,
+                num_workers, sketch_once=sketch_once,
+            )
+            merged = service.metrics_snapshot()
+            assert merged["conflicts"] == []
+            outputs[sketch_once] = (
+                [_match_key(m) for m in service.matches],
+                applied,
+                {
+                    name: value
+                    for name, value in merged["counters"].items()
+                    if name.startswith(("engine.", "stream."))
+                },
+            )
+            service.close()
+        assert outputs[True] == outputs[False]
+
+
+@pytest.mark.parametrize(
+    "representation,use_index",
+    [(r, i) for r in Representation for i in (False, True)],
+    ids=lambda v: getattr(v, "value", {False: "noidx", True: "idx"}.get(v)),
+)
+@pytest.mark.parametrize("vectorized", [False, True],
+                         ids=["scalar", "columnar"])
+def test_sketch_once_all_engines(representation, use_index, vectorized):
+    """Both engine implementations accept precomputed payloads in every
+    representation/index mode and reproduce the serial stream."""
+    rng = np.random.default_rng(67)
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=6)
+    cells = {qid: rng.integers(0, CELL_SPACE, size=25) for qid in range(4)}
+    frames = {qid: 25 for qid in cells}
+    chunks = [rng.integers(0, CELL_SPACE, size=35) for _ in range(3)]
+    chunks[1][4:29] = cells[1]
+    config = DetectorConfig(
+        num_hashes=NUM_HASHES, threshold=0.3,
+        window_seconds=WINDOW_SECONDS,
+        representation=representation, use_index=use_index,
+        vectorized=vectorized,
+    )
+    detector = StreamingDetector(
+        config, QuerySet.from_cell_ids(cells, frames, family),
+        KEYFRAMES_PER_SECOND,
+    )
+    monitor = LiveMonitor(detector)
+    serial = []
+    for chunk in chunks:
+        serial.extend(monitor.push_cell_ids(chunk))
+    serial.extend(monitor.flush())
+    with DetectionService(
+        config, QuerySet.from_cell_ids(cells, frames, family),
+        KEYFRAMES_PER_SECOND, num_workers=2, sketch_once=True,
+        batch_chunks=2,
+    ) as service:
+        service.run(chunks)
+        assert sorted(map(_match_key, service.matches)) == sorted(
+            map(_match_key, serial)
+        )
+        counters = service.metrics_snapshot()["counters"]
+        for name, value in detector.registry.counters():
+            assert counters.get(name, 0) == value, name
+
+
 def _serial_with_actions(config, family, queries, frames, chunks, applied):
     """Run the plain detector applying ``applied`` at the *same* chunk
     boundaries the service applied them at (skipped actions leave gaps,
@@ -236,7 +325,9 @@ def _serial_with_actions(config, family, queries, frames, chunks, applied):
 
 
 def _run_service_with_kill_resume(config, family, queries, frames, chunks,
-                                  actions, num_workers, ckpt_dir):
+                                  actions, num_workers, ckpt_dir,
+                                  sketch_once=True,
+                                  resume_sketch_once=None):
     """Like :func:`_run_service`, but kill/resume mid-stream.
 
     The service is checkpointed at the middle chunk boundary *after*
@@ -244,12 +335,17 @@ def _run_service_with_kill_resume(config, family, queries, frames, chunks,
     ops-before-checkpoint ordering), closed, and restored from disk
     before the remaining chunks run. Returns (service, applied) with the
     restored service holding the full merged match stream.
+    ``resume_sketch_once`` lets the restored service run the *other*
+    protocol (checkpoint mode migration); default is no change.
     """
+    if resume_sketch_once is None:
+        resume_sketch_once = sketch_once
     service = DetectionService(
         config,
         _initial_set(family, queries, frames, actions),
         KEYFRAMES_PER_SECOND,
         num_workers=num_workers,
+        sketch_once=sketch_once,
     )
     applied = []
     kill_at = (len(chunks) - 1) // 2 if len(chunks) > 1 else None
@@ -273,7 +369,10 @@ def _run_service_with_kill_resume(config, family, queries, frames, chunks,
         if position == kill_at and not final:
             path = service.checkpoint(ckpt_dir)
             service.close()
-            service = DetectionService.restore(path, expected_config=config)
+            service = DetectionService.restore(
+                path, expected_config=config,
+                sketch_once=resume_sketch_once,
+            )
     return service, applied
 
 
@@ -317,6 +416,97 @@ def test_kill_resume_mid_churn_equals_serial(
             ] == [_match_key(m) for m in service.matches]
             _assert_counters(ref_detector, service)
             service.close()
+
+
+@pytest.mark.parametrize(
+    "before,after", [(False, True), (True, False)],
+    ids=["legacy-to-frontend", "frontend-to-legacy"],
+)
+@settings(max_examples=5, deadline=None)
+@given(workload=workloads())
+def test_checkpoint_migrates_between_sketch_modes(before, after, workload):
+    """A snapshot taken in one sketch mode resumes losslessly in the
+    other: the undigested partial-window buffer moves between the
+    service front end and the worker monitors, whichever side the
+    resumed service sketches on."""
+    family_seed, queries, frames, threshold, chunks, actions = workload
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=family_seed)
+    config = DetectorConfig(
+        num_hashes=NUM_HASHES,
+        threshold=threshold,
+        window_seconds=WINDOW_SECONDS,
+        representation=Representation.BIT,
+        use_index=False,
+        vectorized=True,
+    )
+    for num_workers in (1, 2):
+        with tempfile.TemporaryDirectory() as tmp:
+            service, applied = _run_service_with_kill_resume(
+                config, family, queries, frames, chunks, actions,
+                num_workers, Path(tmp),
+                sketch_once=before, resume_sketch_once=after,
+            )
+            ref_detector, ref_matches = _serial_with_actions(
+                config, family, queries, frames, chunks, applied
+            )
+            key = canonical_sort_key(config.order)
+            assert [
+                _match_key(m) for m in sorted(ref_matches, key=key)
+            ] == [_match_key(m) for m in service.matches]
+            _assert_counters(ref_detector, service)
+            service.close()
+
+
+@pytest.mark.parametrize(
+    "before,after",
+    [(False, True), (True, False), (True, True), (False, False)],
+    ids=["legacy-to-frontend", "frontend-to-legacy",
+         "frontend-to-frontend", "legacy-to-legacy"],
+)
+def test_mode_migration_carries_partial_buffer(before, after, tmp_path):
+    """Ragged chunks leave a non-empty partial-window buffer at the
+    checkpoint barrier; whichever mode resumes must carry it over."""
+    rng = np.random.default_rng(101)
+    family = MinHashFamily(num_hashes=NUM_HASHES, seed=11)
+    cells = {qid: rng.integers(0, CELL_SPACE, size=25) for qid in range(4)}
+    frames = {qid: 25 for qid in cells}
+    # w = 5 key frames; 13-frame chunks keep 3 then 1 frames buffered
+    # at the first two barriers.
+    chunks = [rng.integers(0, CELL_SPACE, size=13) for _ in range(4)]
+    chunks[1][0:13] = cells[2][5:18]
+    config = DetectorConfig(
+        num_hashes=NUM_HASHES, threshold=0.2,
+        window_seconds=WINDOW_SECONDS,
+        representation=Representation.BIT, use_index=False,
+    )
+    detector = StreamingDetector(
+        config, QuerySet.from_cell_ids(cells, frames, family),
+        KEYFRAMES_PER_SECOND,
+    )
+    monitor = LiveMonitor(detector)
+    serial = []
+    for chunk in chunks:
+        serial.extend(monitor.push_cell_ids(chunk))
+    serial.extend(monitor.flush())
+
+    service = DetectionService(
+        config, QuerySet.from_cell_ids(cells, frames, family),
+        KEYFRAMES_PER_SECOND, num_workers=2, sketch_once=before,
+    )
+    service.run(chunks[:2], flush=False)
+    path = service.checkpoint(tmp_path)
+    service.close()
+    resumed = DetectionService.restore(
+        path, expected_config=config, sketch_once=after
+    )
+    resumed.run(chunks[2:], flush=True)
+    assert [_match_key(m) for m in resumed.matches] == [
+        _match_key(m) for m in serial
+    ]
+    counters = resumed.metrics_snapshot()["counters"]
+    for name, value in detector.registry.counters():
+        assert counters.get(name, 0) == value, name
+    resumed.close()
 
 
 @pytest.mark.parametrize("order,representation,use_index", ALL_MODES)

@@ -17,6 +17,8 @@ Regression anchors for the online-maintenance bug sweep:
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 import pytest
 
@@ -353,7 +355,7 @@ def test_checkpoint_records_epochs(tmp_path):
     assert checkpoint.epoch == 1
     assert checkpoint.worker_epochs() == [1, 1]
     with np.load(path, allow_pickle=True) as archive:
-        assert str(archive["format"][0]) == CHECKPOINT_FORMAT == "repro.ckpt/2"
+        assert str(archive["format"][0]) == CHECKPOINT_FORMAT == "repro.ckpt/3"
 
     resumed = DetectionService.restore(checkpoint)
     assert resumed.epoch == 1
@@ -376,7 +378,8 @@ def test_v1_checkpoint_still_loads(tmp_path):
     path = service.checkpoint(tmp_path)
 
     # Downgrade the archive to the v1 layout: old format tag, no epoch
-    # fields anywhere.
+    # fields, no front-end state — a v1 writer kept the undigested
+    # buffer in every worker's monitor, so move it back there.
     with np.load(path, allow_pickle=True) as archive:
         payload = {key: archive[key] for key in archive.files}
     fmt = np.empty(1, dtype=object)
@@ -385,8 +388,18 @@ def test_v1_checkpoint_still_loads(tmp_path):
     del payload["epoch"]
     for key in [k for k in payload if k.endswith("_epoch")]:
         del payload[key]
+    buffered = payload.pop("frontend_pending")
+    for key in [k for k in payload if k.startswith("frontend_")]:
+        del payload[key]
+    for key in [
+        k for k in payload if re.fullmatch(r"w\d+_pending", k)
+    ]:
+        payload[key] = buffered
     v1_path = tmp_path / "ckpt-v1.npz"
     with open(v1_path, "wb") as handle:
+        # v1 writers passed allow_pickle as a savez kwarg, embedding a
+        # spurious "allow_pickle" member; keep it so the load-side
+        # strip is exercised against a faithful old archive.
         np.savez_compressed(handle, **payload, allow_pickle=True)
 
     checkpoint = CheckpointManager(tmp_path).load(v1_path)

@@ -26,6 +26,7 @@ from repro.serve import (
     MatchCollector,
     ServiceCheckpoint,
     ShardPlanner,
+    put_with_policy,
 )
 
 
@@ -178,6 +179,118 @@ class TestBoundedChannel:
             BoundedChannel(0)
 
 
+class TestPutWithPolicy:
+    """The lossy policies against *real* multiprocessing queues — the
+    process backend's actual transport — plus the steal/retry race.
+
+    ``multiprocessing.Queue`` has no atomic steal, so ``DROP_OLDEST``
+    is emulated by the producer consuming its own queue and retrying
+    the put; a worker can drain the queue between those two steps
+    (``Empty`` then ``Full``), and the loop must survive that.
+    """
+
+    def _mp_queue(self, capacity):
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        return context.Queue(capacity)
+
+    def _settle(self, target, expected):
+        """Wait for the feeder thread: puts reserve capacity at call
+        time, but items only become stealable once flushed."""
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                if target.qsize() == expected:
+                    return
+            except NotImplementedError:  # pragma: no cover - macOS
+                time.sleep(0.2)
+                return
+            time.sleep(0.01)
+        raise AssertionError("queue feeder never flushed")
+
+    def test_shed_rejects_on_full_mp_queue(self):
+        target = self._mp_queue(1)
+        assert put_with_policy(
+            target, "a", BackpressurePolicy.SHED
+        ).delivered
+        outcome = put_with_policy(target, "b", BackpressurePolicy.SHED)
+        assert not outcome.delivered and not outcome.dropped
+        self._settle(target, 1)
+        assert target.get(timeout=5) == "a"
+
+    def test_drop_oldest_steals_from_mp_queue(self):
+        target = self._mp_queue(2)
+        put_with_policy(target, "a", BackpressurePolicy.DROP_OLDEST)
+        put_with_policy(target, "b", BackpressurePolicy.DROP_OLDEST)
+        self._settle(target, 2)
+        outcome = put_with_policy(
+            target, "c", BackpressurePolicy.DROP_OLDEST
+        )
+        assert outcome.delivered and outcome.dropped == ["a"]
+        self._settle(target, 2)
+        assert [target.get(timeout=5) for _ in range(2)] == ["b", "c"]
+
+    def test_block_waits_for_mp_consumer(self):
+        import threading
+
+        target = self._mp_queue(1)
+        put_with_policy(target, "a", BackpressurePolicy.BLOCK)
+        self._settle(target, 1)
+        drained = []
+
+        def drain():
+            drained.append(target.get(timeout=5))
+
+        timer = threading.Timer(0.05, drain)
+        timer.start()
+        outcome = put_with_policy(
+            target, "b", BackpressurePolicy.BLOCK, poll_seconds=0.01
+        )
+        timer.join()
+        assert outcome.delivered
+        assert outcome.blocked_seconds > 0
+        assert drained == ["a"]
+        assert target.get(timeout=5) == "b"
+
+    def test_drop_oldest_survives_empty_then_full_race(self):
+        """The worker drains the queue between the producer's steal and
+        its retry: ``get_nowait`` raises Empty, the retried put still
+        raises Full (capacity reserved by an in-flight message), and
+        the loop keeps going instead of crashing or double-dropping."""
+        import queue as queue_module
+
+        class RacyQueue:
+            def __init__(self, full_puts):
+                self.full_puts = full_puts
+                self.items = []
+                self.steal_attempts = 0
+
+            def put_nowait(self, item):
+                if self.full_puts > 0:
+                    self.full_puts -= 1
+                    raise queue_module.Full
+                self.items.append(item)
+
+            def get_nowait(self):
+                self.steal_attempts += 1
+                raise queue_module.Empty
+
+        target = RacyQueue(full_puts=3)
+        outcome = put_with_policy(
+            target, "x", BackpressurePolicy.DROP_OLDEST
+        )
+        assert outcome.delivered
+        assert outcome.dropped == []  # the worker won every steal race
+        assert target.steal_attempts == 3
+        assert target.items == ["x"]
+
+
 class TestMergeSnapshots:
     def _snap(self, counters, gauges=None, timers=None):
         return {
@@ -281,9 +394,63 @@ class TestCheckpointManager:
         archive = dict(np.load(path, allow_pickle=True))
         archive["format"] = np.asarray(["repro.ckpt/99"], dtype=object)
         with open(path, "wb") as handle:
-            np.savez_compressed(handle, **archive, allow_pickle=True)
+            np.savez_compressed(handle, **archive)
         with pytest.raises(PersistenceError, match="repro.ckpt/99"):
             manager.load(path)
+
+    def test_archive_members_are_exactly_the_payload(self, family, tmp_path):
+        """Regression: ``save`` used to pass ``allow_pickle=True`` as a
+        ``savez_compressed`` keyword, which stores it as a spurious
+        archive member. The member set must be exactly the payload."""
+        from repro.persistence import (
+            detector_config_payload,
+            query_set_payload,
+        )
+
+        checkpoint = self._checkpoint(family)
+        path = CheckpointManager(tmp_path).save(checkpoint)
+        with np.load(path, allow_pickle=True) as archive:
+            members = set(archive.files)
+        expected = {
+            "format", "num_workers", "chunks_ingested", "cap_hint",
+            "epoch", "keyframes_per_second", "strategy",
+            "frontend_pending", "frontend_flushed", "frontend_windows",
+            "frontend_frames",
+        }
+        expected |= set(detector_config_payload(checkpoint.config))
+        expected |= {
+            f"matches_{name}"
+            for name in ("qid", "window", "start", "end", "similarity")
+        }
+        expected |= set(
+            query_set_payload(checkpoint.worker_queries[0], prefix="w0_qs_")
+        )
+        expected |= {f"w0_{key}" for key in checkpoint.worker_states[0]}
+        assert members == expected
+
+    def test_legacy_spurious_allow_pickle_member_is_stripped(
+        self, family, tmp_path
+    ):
+        """Archives written by the buggy save under older numpy (where
+        ``**kwds`` swallowed ``allow_pickle`` as an array member) still
+        load, and the junk member never reaches a worker-state dict."""
+        import io
+        import zipfile
+
+        manager = CheckpointManager(tmp_path)
+        path = manager.save(self._checkpoint(family))
+        # Modern numpy binds an ``allow_pickle`` keyword for real, so
+        # the junk member has to be spliced into the zip directly.
+        buffer = io.BytesIO()
+        np.save(buffer, np.asarray([True]))
+        with zipfile.ZipFile(path, "a") as stage:
+            stage.writestr("allow_pickle.npy", buffer.getvalue())
+        with np.load(path, allow_pickle=True) as reread:
+            assert "allow_pickle" in reread.files  # bug faithfully staged
+        loaded = manager.load(path)
+        assert loaded.chunks_ingested == 3
+        for state in loaded.worker_states:
+            assert "allow_pickle" not in state
 
     def test_empty_directory(self, tmp_path):
         with pytest.raises(PersistenceError, match="no checkpoint"):
