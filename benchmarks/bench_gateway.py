@@ -1,0 +1,256 @@
+"""Gateway overhead: the ``repro.wire/1`` socket path vs in-process.
+
+The gateway promises that putting the detection service behind a TCP
+socket costs protocol overhead only — framing, CRC, one credit-window
+round trip — while the detection work itself is byte-identical. This
+benchmark measures that promise on localhost:
+
+* **in-process** — chunks fed straight into a
+  :class:`~repro.serve.DetectionService` (thread backend), one
+  ``run([chunk])`` per chunk, exactly as the gateway's service thread
+  does it.
+* **gateway** — the same chunks pushed by an
+  :class:`~repro.gateway.IngestClient` through a
+  :class:`~repro.gateway.GatewayServer` over 127.0.0.1, with a watcher
+  attached consuming the match stream.
+
+Reported per configuration: frames/s and MB/s through each path, the
+per-frame and per-chunk overhead of the socket path, and the wire-level
+counters (frames, bytes) from the gateway's own registry. The match
+streams are asserted identical before any number is reported — a
+benchmark of a wrong answer is worthless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from repro.config import DetectorConfig
+from repro.core.query import QuerySet
+from repro.gateway import GatewayServer, IngestClient, WatchClient
+from repro.minhash.family import MinHashFamily
+from repro.serve import DetectionService
+
+BENCH_SEED = 20260808
+CELL_SPACE = 4000
+KEYFRAMES_PER_SECOND = 2.0
+WINDOW_SECONDS = 2.5
+THRESHOLD = 0.35
+CHUNK_FRAMES = 10
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def build_workload(rng, num_queries: int, num_chunks: int):
+    """Queries plus a chunked stream with planted full-length copies."""
+    frames = {}
+    cells = {}
+    for qid in range(num_queries):
+        n = int(rng.integers(20, 40))
+        cells[qid] = rng.integers(0, CELL_SPACE, size=n)
+        frames[qid] = n
+    chunks = [
+        rng.integers(0, CELL_SPACE, size=CHUNK_FRAMES).astype(np.int64)
+        for _ in range(num_chunks)
+    ]
+    # Plant each query once, spread across the stream, aligned to
+    # chunk boundaries so every run detects something.
+    for qid in range(num_queries):
+        at = (qid + 1) * num_chunks // (num_queries + 2)
+        copy = np.asarray(cells[qid], dtype=np.int64)
+        offset = 0
+        while offset < copy.size and at < num_chunks:
+            take = min(CHUNK_FRAMES, copy.size - offset)
+            chunks[at][:take] = copy[offset : offset + take]
+            offset += take
+            at += 1
+    return cells, frames, chunks
+
+
+def _match_key(match):
+    return (match.qid, match.window_index, match.start_frame,
+            match.end_frame, match.similarity)
+
+
+def _make_service(config, family, cells, frames):
+    queries = QuerySet.from_cell_ids(cells, frames, family)
+    return DetectionService(
+        config,
+        queries,
+        KEYFRAMES_PER_SECOND,
+        num_workers=2,
+        backend="thread",
+    )
+
+
+def run_inprocess(config, family, cells, frames, chunks):
+    service = _make_service(config, family, cells, frames)
+    started = time.perf_counter()
+    for chunk in chunks:
+        service.run([chunk], flush=False)
+    service.flush()
+    elapsed = time.perf_counter() - started
+    matches = [_match_key(m) for m in service.collector.matches]
+    service.close()
+    return elapsed, matches
+
+
+def run_gateway(config, family, cells, frames, chunks, credits: int):
+    service = _make_service(config, family, cells, frames)
+    server = GatewayServer(service, credits=credits)
+    handle = server.run_in_thread()
+    watcher = WatchClient("127.0.0.1", handle.port, credits=1 << 16)
+    client = IngestClient("127.0.0.1", handle.port)
+    started = time.perf_counter()
+    for seq, chunk in enumerate(chunks):
+        client.push(seq, chunk)
+    client.end()
+    watched = list(watcher.matches())
+    elapsed = time.perf_counter() - started
+    matches = [
+        (event["qid"], event["window_index"], event["start_frame"],
+         event["end_frame"], event["similarity"])
+        for event in watched
+    ]
+    counters = dict(server.registry.counters())
+    client.close()
+    watcher.close()
+    handle.stop()
+    service.close()
+    return elapsed, matches, counters
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: fewer chunks, fewer hashes, one repeat",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "BENCH_GATEWAY.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per configuration (best is kept)",
+    )
+    args = parser.parse_args(argv)
+
+    num_queries = 4 if args.quick else 8
+    num_chunks = 150 if args.quick else 1200
+    repeats = args.repeats or (1 if args.quick else 3)
+    credits = 8
+
+    config = DetectorConfig(
+        num_hashes=64 if args.quick else 256,
+        threshold=THRESHOLD,
+        window_seconds=WINDOW_SECONDS,
+    )
+    family = MinHashFamily(num_hashes=config.num_hashes, seed=BENCH_SEED)
+    rng = np.random.default_rng(BENCH_SEED)
+    cells, frames, chunks = build_workload(rng, num_queries, num_chunks)
+    num_frames = sum(chunk.size for chunk in chunks)
+    payload_bytes = sum(chunk.nbytes for chunk in chunks)
+
+    best_inproc = None
+    best_gateway = None
+    counters: Dict[str, int] = {}
+    for _ in range(repeats):
+        elapsed, ref_matches = run_inprocess(
+            config, family, cells, frames, chunks
+        )
+        if best_inproc is None or elapsed < best_inproc:
+            best_inproc = elapsed
+        elapsed, gw_matches, counters = run_gateway(
+            config, family, cells, frames, chunks, credits
+        )
+        if gw_matches != ref_matches:
+            raise SystemExit(
+                f"parity violation: gateway produced {len(gw_matches)} "
+                f"matches, in-process {len(ref_matches)}"
+            )
+        if best_gateway is None or elapsed < best_gateway:
+            best_gateway = elapsed
+
+    overhead_s = best_gateway - best_inproc
+    result = {
+        "num_chunks": num_chunks,
+        "num_frames": num_frames,
+        "payload_mb": payload_bytes / 1e6,
+        "matches": len(ref_matches),
+        "inprocess": {
+            "elapsed_s": best_inproc,
+            "frames_per_sec": num_frames / best_inproc,
+            "mb_per_sec": payload_bytes / 1e6 / best_inproc,
+        },
+        "gateway": {
+            "elapsed_s": best_gateway,
+            "frames_per_sec": num_frames / best_gateway,
+            "mb_per_sec": payload_bytes / 1e6 / best_gateway,
+            "wire_frames_in": counters.get("gateway.frames_in", 0),
+            "wire_frames_out": counters.get("gateway.frames_out", 0),
+            "wire_bytes_in": counters.get("gateway.bytes_in", 0),
+            "wire_bytes_out": counters.get("gateway.bytes_out", 0),
+        },
+        "overhead": {
+            "total_s": overhead_s,
+            "per_chunk_us": overhead_s / num_chunks * 1e6,
+            "per_frame_us": overhead_s / num_frames * 1e6,
+            "relative": overhead_s / best_inproc,
+        },
+    }
+    print(f"in-process: {result['inprocess']['frames_per_sec']:>10.1f} "
+          f"frames/s  {result['inprocess']['mb_per_sec']:>7.2f} MB/s")
+    print(f"gateway:    {result['gateway']['frames_per_sec']:>10.1f} "
+          f"frames/s  {result['gateway']['mb_per_sec']:>7.2f} MB/s")
+    print(f"overhead:   {result['overhead']['per_chunk_us']:>10.1f} "
+          f"us/chunk  ({result['overhead']['relative']*100:.1f}% of "
+          "in-process wall clock)")
+
+    report = {
+        "benchmark": "gateway",
+        "seed": BENCH_SEED,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_cores": available_cores(),
+        "config": {
+            "num_hashes": config.num_hashes,
+            "threshold": THRESHOLD,
+            "window_seconds": WINDOW_SECONDS,
+            "chunk_frames": CHUNK_FRAMES,
+            "num_queries": num_queries,
+            "credits": credits,
+            "repeats": repeats,
+            "backend": "thread",
+            "num_workers": 2,
+        },
+        "result": result,
+    }
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

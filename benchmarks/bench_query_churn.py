@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -50,6 +51,13 @@ THRESHOLD = 0.7
 CELL_ID_SPACE = 40_960
 QUERY_SECONDS = (40.0, 60.0)
 CHUNK_WINDOWS = 8
+
+
+def available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def build_workload(rng: np.random.Generator, num_queries: int,
@@ -208,6 +216,8 @@ def main(argv: List[str] | None = None) -> int:
         "quick": args.quick,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_cores": available_cores(),
         "workload": {
             "keyframes_per_second": KEYFRAMES_PER_SECOND,
             "window_seconds": WINDOW_SECONDS,

@@ -23,18 +23,34 @@ need without writing Python:
   degradation policy for damaged GOPs and a scheduling policy across
   streams. A query copy is planted in every stream so detection can be
   eyeballed end to end.
+* ``gateway`` — serve detection over TCP (``repro.gateway``): builds
+  the workload's query set, fronts a sharded service with the
+  ``repro.wire/1`` protocol and runs until interrupted (graceful
+  drain + final checkpoint on SIGINT/SIGTERM).
+* ``push``   — stream the workload's chunks into a running gateway as
+  an ingest client; ``--kill-after`` crashes mid-stream and prints the
+  resume token, ``--resume-token`` continues where that left off.
+* ``watch``  — subscribe to a running gateway's match stream and print
+  events in canonical order as they happen.
 
 ``demo``, ``sweep``, ``stats``, ``serve`` and ``ingest`` all accept
 ``--metrics-out PATH`` to write the same ``repro.obs/1`` JSON snapshot
 benchmarks dump next to their figures (sweeps write one snapshot per
 swept value; serve writes the cross-worker merged snapshot).
+
+``serve`` and ``ingest`` exit cleanly on SIGINT/SIGTERM: in-flight
+chunks drain, stream tails flush (ingest) and — when a checkpoint
+directory is configured — a final snapshot is written so ``--resume``
+can continue the run.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.codec.gop import decode_dc_coefficients, encode_video
@@ -173,6 +189,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write the merged cross-worker JSON snapshot "
                        "here")
+    serve.add_argument("--pace", type=float, default=0.0, metavar="SECONDS",
+                       help="sleep between chunks to simulate live "
+                       "arrival (also makes signal-driven shutdown "
+                       "deterministic to test)")
 
     ingest = subparsers.add_parser(
         "ingest",
@@ -211,6 +231,71 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the nested repro.ingest/1 JSON "
                         "snapshot here")
+
+    gateway = subparsers.add_parser(
+        "gateway",
+        help="serve detection over TCP (the repro.wire/1 protocol)",
+    )
+    _add_workload_args(gateway)
+    _add_detector_args(gateway)
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 picks a free one)")
+    gateway.add_argument("--workers", type=int, default=2,
+                         help="shard / worker count")
+    gateway.add_argument("--backend",
+                         choices=("serial", "thread", "process"),
+                         default="thread")
+    gateway.add_argument("--policy",
+                         choices=("block", "drop_oldest", "shed"),
+                         default="block",
+                         help="backpressure policy behind the credit "
+                         "window (lossy policies surface as counted "
+                         "drop notices)")
+    gateway.add_argument("--credits", type=int, default=8,
+                         help="ingest credit window (bounds server-side "
+                         "buffered chunks)")
+    gateway.add_argument("--heartbeat", type=float, default=10.0,
+                         metavar="SECONDS")
+    gateway.add_argument("--idle-timeout", type=float, default=60.0,
+                         metavar="SECONDS")
+    gateway.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="write a final service snapshot here on "
+                         "shutdown (and on admin checkpoint requests)")
+    gateway.add_argument("--port-file", metavar="PATH", default=None,
+                         help="write the bound port here once listening "
+                         "(for scripts that need to find a 0-port "
+                         "server)")
+
+    push = subparsers.add_parser(
+        "push", help="stream workload chunks into a running gateway"
+    )
+    _add_workload_args(push)
+    push.add_argument("--host", default="127.0.0.1")
+    push.add_argument("--port", type=int, required=True)
+    push.add_argument("--chunk-seconds", type=float, default=30.0,
+                      help="stream seconds per pushed chunk")
+    push.add_argument("--kill-after", type=int, default=0, metavar="N",
+                      help="crash the connection after N chunks and "
+                      "print the resume token (tests reconnect/resume)")
+    push.add_argument("--resume-token", default=None, metavar="TOKEN",
+                      help="resume a crashed push session; re-pushes "
+                      "from the server's last acknowledged chunk")
+    push.add_argument("--no-end", action="store_true",
+                      help="leave the stream open (no tail flush) after "
+                      "the last chunk")
+
+    watch = subparsers.add_parser(
+        "watch", help="print a running gateway's match stream"
+    )
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--port", type=int, required=True)
+    watch.add_argument("--credits", type=int, default=32,
+                       help="match-event flow-control window granted to "
+                       "the server")
+    watch.add_argument("--resume-token", default=None, metavar="TOKEN")
+    watch.add_argument("--last-acked", type=int, default=None, metavar="ID",
+                       help="resume the event stream after this match id")
 
     inspect = subparsers.add_parser(
         "inspect", help="encode a synthetic clip and inspect the bitstream"
@@ -457,18 +542,36 @@ def _command_serve(args: argparse.Namespace) -> int:
     else:
         apply_churn(0)
     stopped_early = False
-    for position in range(start, len(chunks)):
-        service.process_chunk(chunks[position])
-        ingested = service.chunks_ingested
-        apply_churn(ingested)
-        if manager and args.checkpoint_every and (
-            ingested % args.checkpoint_every == 0
-        ):
-            path = service.checkpoint(manager)
-            print(f"checkpointed at chunk {ingested}: {path}")
-        if args.stop_after and ingested >= args.stop_after:
-            stopped_early = True
-            break
+    signalled: List[int] = []
+    previous_handlers = {
+        sig: signal.signal(sig, lambda signum, frame: signalled.append(signum))
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        for position in range(start, len(chunks)):
+            service.process_chunk(chunks[position])
+            ingested = service.chunks_ingested
+            apply_churn(ingested)
+            if manager and args.checkpoint_every and (
+                ingested % args.checkpoint_every == 0
+            ):
+                path = service.checkpoint(manager)
+                print(f"checkpointed at chunk {ingested}: {path}")
+            if args.stop_after and ingested >= args.stop_after:
+                stopped_early = True
+                break
+            if signalled:
+                # Graceful drain: the chunk boundary we are on is a
+                # legal checkpoint barrier — snapshot and exit clean.
+                print(f"received {signal.Signals(signalled[0]).name}, "
+                      "draining")
+                stopped_early = True
+                break
+            if args.pace > 0:
+                time.sleep(args.pace)
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
     if stopped_early:
         if manager:
             path = service.checkpoint(manager)
@@ -587,7 +690,19 @@ def _command_ingest(args: argparse.Namespace) -> int:
     print(f"ingesting {args.streams} stream(s) x {args.chunks} chunks "
           f"({args.faults} faults, {args.degrade} degradation, "
           f"{args.policy} scheduling, pool={args.pool})")
-    matches_by_stream = scheduler.run()
+    # SIGINT/SIGTERM stop the scheduler at the next round boundary:
+    # in-flight chunks drain, tails flush, then the report prints.
+    previous_handlers = {
+        sig: signal.signal(
+            sig, lambda signum, frame: scheduler.request_stop()
+        )
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        matches_by_stream = scheduler.run()
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
 
     rows = []
     for feed, session in pairs:
@@ -613,6 +728,127 @@ def _command_ingest(args: argparse.Namespace) -> int:
     print(" ".join(f"{key}={value}" for key, value in recon.items()))
     if args.metrics_out:
         _write_metrics(args.metrics_out, scheduler.metrics_snapshot())
+    return 0
+
+
+def _command_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.query import QuerySet
+    from repro.gateway import GatewayServer
+    from repro.minhash.family import MinHashFamily
+    from repro.serve import BackpressurePolicy, DetectionService
+
+    prepared = _build_workload(args)
+    config = _detector_config(args)
+    family = MinHashFamily(num_hashes=config.num_hashes, seed=0)
+    queries = QuerySet.from_cell_ids(
+        prepared.query_cell_ids, prepared.query_frames, family
+    )
+    service = DetectionService(
+        config,
+        queries,
+        prepared.keyframes_per_second,
+        num_workers=args.workers,
+        backend=args.backend,
+        policy=BackpressurePolicy(args.policy),
+    )
+    server = GatewayServer(
+        service,
+        host=args.host,
+        port=args.port,
+        credits=args.credits,
+        policy=BackpressurePolicy(args.policy),
+        heartbeat_seconds=args.heartbeat,
+        idle_timeout_seconds=args.idle_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"gateway listening on {server.host}:{server.port} "
+              f"({service.num_workers} {args.backend} worker(s), "
+              f"{args.policy} policy, {args.credits} credits)", flush=True)
+        if args.port_file:
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{server.port}\n")
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(server.shutdown())
+            )
+        await server.wait_stopped()
+
+    asyncio.run(_serve())
+    print(f"gateway drained: {len(service.matches)} matches collected, "
+          f"{service.chunks_ingested} chunks ingested")
+    service.close()
+    return 0
+
+
+def _command_push(args: argparse.Namespace) -> int:
+    from repro.gateway import IngestClient
+
+    prepared = _build_workload(args)
+    chunk_frames = max(
+        1, round(args.chunk_seconds * prepared.keyframes_per_second)
+    )
+    stream = prepared.stream_cell_ids
+    chunks = [
+        stream[offset : offset + chunk_frames]
+        for offset in range(0, len(stream), chunk_frames)
+    ]
+    client = IngestClient(
+        args.host, args.port, resume_token=args.resume_token
+    )
+    start = client.last_seq + 1
+    if args.resume_token:
+        print(f"resumed: server already holds chunks through seq "
+              f"{client.last_seq}")
+    pushed = 0
+    for seq in range(start, len(chunks)):
+        client.push(seq, chunks[seq])
+        pushed += 1
+        if args.kill_after and pushed >= args.kill_after:
+            print(f"killing the connection after {pushed} chunk(s); "
+                  f"continue with --resume-token {client.token}")
+            client.kill()
+            return 0
+    if args.no_end:
+        client.drain()
+        print(f"pushed {pushed} chunk(s), stream left open "
+              f"(dropped={len(client.dropped)})")
+    else:
+        total = client.end()
+        print(f"pushed {pushed} chunk(s): {total} total matches "
+              f"(dropped={len(client.dropped)})")
+    client.close()
+    return 0
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    from repro.gateway import WatchClient
+
+    client = WatchClient(
+        args.host,
+        args.port,
+        credits=args.credits,
+        resume_token=args.resume_token,
+        last_acked=args.last_acked,
+    )
+    print(f"watching from match {client.next_match} "
+          f"(resume token {client.token})", flush=True)
+    count = 0
+    for event in client.matches():
+        print(f"match id={event['id']} qid={event['qid']} "
+              f"window={event['window_index']} "
+              f"frames={event['start_frame']}..{event['end_frame']} "
+              f"sim={event['similarity']:.3f}", flush=True)
+        count += 1
+    if client.total is not None:
+        print(f"stream ended: {client.total} total matches "
+              f"({count} seen this session)")
+    client.close()
     return 0
 
 
@@ -663,6 +899,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "ingest":
         return _command_ingest(args)
+    if args.command == "gateway":
+        return _command_gateway(args)
+    if args.command == "push":
+        return _command_push(args)
+    if args.command == "watch":
+        return _command_watch(args)
     return _command_inspect(args)
 
 

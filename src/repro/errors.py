@@ -114,3 +114,12 @@ class ServeError(ReproError):
     checkpoint recorded under a different configuration or shard plan,
     or resuming a service whose checkpoint file is missing.
     """
+
+
+class GatewayError(ReproError):
+    """The network gateway hit a protocol or session error.
+
+    Examples: a corrupt or oversized ``repro.wire/1`` frame, a version
+    mismatch at HELLO, a client overrunning its credit window, or a
+    resume token that does not match the held stream.
+    """

@@ -1,0 +1,463 @@
+"""Blocking client library for the ``repro.wire/1`` gateway.
+
+Three small clients mirror the server's session kinds:
+
+* :class:`IngestClient` — pushes chunks under the server's credit
+  window, surfaces ``drop`` notices and per-chunk acks, and supports
+  resume: construct with the ``token`` of a previous (dead) session and
+  re-push from ``last_seq + 1`` — overlap is deduplicated server-side,
+  so replaying more than necessary is safe.
+* :class:`WatchClient` — iterates server-pushed match events in
+  canonical order, acknowledging each (which both advances the resume
+  cursor and refunds a flow-control credit).
+* :class:`AdminClient` — request/response query lifecycle and stats.
+
+All three ride one :class:`GatewayConnection`, a blocking socket that
+answers heartbeat pings transparently. Nothing here touches asyncio —
+the clients are meant for CLI verbs, tests and benchmarks that drive a
+gateway from ordinary synchronous code.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.codec.gop import EncodedVideo
+from repro.errors import GatewayError
+from repro.gateway.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameReader,
+    WIRE_FORMAT,
+    encode_frame,
+)
+
+__all__ = [
+    "AdminClient",
+    "GatewayClosed",
+    "GatewayConnection",
+    "IngestClient",
+    "WatchClient",
+]
+
+
+class GatewayClosed(GatewayError):
+    """The server went away (goaway, drain, or dropped connection).
+
+    ``resume`` carries the server's parting resume state when a goaway
+    frame delivered one (token + position); ``None`` for an abrupt
+    close.
+    """
+
+    def __init__(self, message: str, resume: Optional[Dict] = None) -> None:
+        super().__init__(message)
+        self.resume = resume or None
+
+
+class GatewayConnection:
+    """One blocking ``repro.wire/1`` connection.
+
+    Handles framing (via :class:`~repro.gateway.protocol.FrameReader`)
+    and answers server ``ping`` frames transparently; everything else
+    is returned to the caller in arrival order.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = FrameReader(max_frame_bytes=self.max_frame_bytes)
+        self._queue: Deque[Tuple[Dict, Optional[np.ndarray]]] = deque()
+        self.closed = False
+
+    def send(self, header: Dict, payload: Optional[np.ndarray] = None) -> None:
+        if self.closed:
+            raise GatewayError("the connection is closed")
+        data = encode_frame(
+            header, payload, max_frame_bytes=self.max_frame_bytes
+        )
+        try:
+            self._sock.sendall(data)
+        except OSError as error:
+            raise GatewayClosed(f"connection lost: {error}")
+
+    def recv(self) -> Tuple[Dict, Optional[np.ndarray]]:
+        """Next non-ping frame; raises :class:`GatewayClosed` on EOF."""
+        while True:
+            while not self._queue:
+                try:
+                    data = self._sock.recv(65536)
+                except (ConnectionError, OSError) as error:
+                    raise GatewayClosed(f"connection lost: {error}")
+                if not data:
+                    raise GatewayClosed("connection closed by server")
+                self._queue.extend(self._reader.feed(data))
+            header, payload = self._queue.popleft()
+            if header.get("type") == "ping":
+                try:
+                    self.send({"type": "pong"})
+                except (GatewayError, OSError):
+                    pass
+                continue
+            return header, payload
+
+    def close(self, polite: bool = True) -> None:
+        """Close the socket; ``polite`` sends a ``bye`` first."""
+        if self.closed:
+            return
+        if polite:
+            try:
+                self.send({"type": "bye"})
+            except (GatewayError, OSError):
+                pass
+        self.closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def kill(self) -> None:
+        """Drop the socket abruptly — simulates a client crash."""
+        self.close(polite=False)
+
+    def __enter__(self) -> "GatewayConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _handshake(conn: GatewayConnection, hello: Dict) -> Dict:
+    conn.send(hello)
+    header, _ = conn.recv()
+    kind = header.get("type")
+    if kind == "welcome":
+        return header
+    conn.close(polite=False)
+    if kind == "goaway":
+        raise GatewayClosed(
+            f"server refused the session: {header.get('reason')}",
+            header.get("resume"),
+        )
+    if kind == "error":
+        raise GatewayError(
+            f"{header.get('code', 'error')}: {header.get('message')}"
+        )
+    raise GatewayError(f"expected welcome, got {kind!r}")
+
+
+class IngestClient:
+    """Push a stream's chunks through a gateway's ingest session.
+
+    Attributes
+    ----------
+    token:
+        The server-minted resume token; hand it to a new client (with
+        ``resume_token=``) after a crash.
+    last_seq:
+        Highest seq the *server* had fully processed at welcome — the
+        resume point; re-push from ``last_seq + 1``.
+    credits:
+        The client's current view of its credit window.
+    dropped:
+        Seqs the server reported dropped (lossy backpressure policies).
+    acked:
+        ``seq -> match count`` for every acknowledged chunk.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        stream_id: int = 0,
+        resume_token: Optional[str] = None,
+        timeout: float = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._conn = GatewayConnection(
+            host, port, timeout=timeout, max_frame_bytes=max_frame_bytes
+        )
+        hello: Dict[str, object] = {
+            "type": "hello", "proto": WIRE_FORMAT, "role": "ingest",
+            "stream_id": stream_id,
+        }
+        if resume_token:
+            hello["resume_token"] = resume_token
+        welcome = _handshake(self._conn, hello)
+        self.token: str = welcome["token"]
+        self.credits: int = int(welcome["credits"])
+        self.last_seq: int = int(welcome["last_seq"])
+        self.policy: str = str(welcome.get("policy", "block"))
+        self.acked: Dict[int, int] = {}
+        self.dropped: List[int] = []
+        self.chunk_errors: Dict[int, str] = {}
+        self._outstanding: set = set()
+
+    # -- frame pump -----------------------------------------------------
+
+    def _handle(self, header: Dict) -> None:
+        kind = header.get("type")
+        if kind == "ack":
+            seq = int(header["seq"])
+            self.credits += int(header.get("credit", 1))
+            self._outstanding.discard(seq)
+            self.acked[seq] = int(header.get("matches", 0))
+            return
+        if kind == "chunk_error":
+            seq = int(header["seq"])
+            self.credits += int(header.get("credit", 1))
+            self._outstanding.discard(seq)
+            self.chunk_errors[seq] = str(header.get("message", ""))
+            return
+        if kind == "drop":
+            seqs = [int(seq) for seq in header.get("seqs", [])]
+            self.credits += int(header.get("count", len(seqs)))
+            for seq in seqs:
+                self._outstanding.discard(seq)
+            self.dropped.extend(seqs)
+            return
+        if kind == "goaway":
+            raise GatewayClosed("server draining", header.get("resume"))
+        if kind == "error":
+            raise GatewayError(
+                f"{header.get('code', 'error')}: {header.get('message')}"
+            )
+        raise GatewayError(f"unexpected {kind!r} frame on ingest session")
+
+    def _pump_once(self) -> None:
+        header, _ = self._conn.recv()
+        self._handle(header)
+
+    # -- pushing --------------------------------------------------------
+
+    def push(self, seq: int, cell_ids) -> None:
+        """Push one cell-id chunk, waiting for credit if starved."""
+        while self.credits <= 0:
+            self._pump_once()
+        self._conn.send(
+            {"type": "chunk", "seq": int(seq), "kind": "cells"},
+            np.asarray(cell_ids, dtype=np.int64),
+        )
+        self.credits -= 1
+        self._outstanding.add(int(seq))
+
+    def push_encoded(self, seq: int, video: EncodedVideo) -> None:
+        """Push one encoded-bitstream chunk (decoded server-side)."""
+        while self.credits <= 0:
+            self._pump_once()
+        meta = {
+            "width": video.width, "height": video.height,
+            "block_size": video.block_size, "quality": video.quality,
+            "gop_size": video.gop_size, "num_frames": video.num_frames,
+            "fps": video.fps, "entropy_coding": video.entropy_coding,
+        }
+        self._conn.send(
+            {"type": "chunk", "seq": int(seq), "kind": "encoded",
+             "meta": meta},
+            np.frombuffer(video.data, dtype=np.uint8),
+        )
+        self.credits -= 1
+        self._outstanding.add(int(seq))
+
+    def drain(self) -> None:
+        """Block until every pushed chunk is acked or dropped."""
+        while self._outstanding:
+            self._pump_once()
+
+    def end(self) -> int:
+        """Flush the stream's tail; returns the server's total match
+        count. The session stays open (e.g. for an admin to inspect)."""
+        self.drain()
+        self._conn.send({"type": "end"})
+        while True:
+            header, _ = self._conn.recv()
+            if header.get("type") == "ended":
+                return int(header["total_matches"])
+            self._handle(header)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def kill(self) -> None:
+        """Crash the connection (no bye, no drain) — for resume tests."""
+        self._conn.kill()
+
+    def __enter__(self) -> "IngestClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class WatchClient:
+    """Consume the gateway's pushed match stream in canonical order."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        credits: int = 32,
+        resume_token: Optional[str] = None,
+        last_acked: Optional[int] = None,
+        timeout: float = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._conn = GatewayConnection(
+            host, port, timeout=timeout, max_frame_bytes=max_frame_bytes
+        )
+        hello: Dict[str, object] = {
+            "type": "hello", "proto": WIRE_FORMAT, "role": "watch",
+            "credits": int(credits),
+        }
+        if resume_token:
+            hello["resume_token"] = resume_token
+        if last_acked is not None:
+            hello["last_acked"] = int(last_acked)
+        welcome = _handshake(self._conn, hello)
+        self.token: str = welcome["token"]
+        self.next_match: int = int(welcome["next_match"])
+        self.last_acked: int = self.next_match - 1
+        self.total: Optional[int] = None
+
+    def matches(self) -> Iterator[Dict]:
+        """Yield match event headers until the stream ends.
+
+        Each yielded event is acknowledged (and its credit refunded)
+        before the next is requested, so ``last_acked`` always trails
+        the consumed stream by at most one event — the resume cursor a
+        replacement watcher passes as ``last_acked``.
+        """
+        while True:
+            try:
+                header, _ = self._conn.recv()
+            except GatewayClosed:
+                return
+            kind = header.get("type")
+            if kind == "match":
+                event_id = int(header["id"])
+                try:
+                    self._conn.send(
+                        {"type": "match_ack", "id": event_id, "credit": 1}
+                    )
+                except GatewayClosed:
+                    # A draining server may close after pushing its
+                    # final matches; the event is already delivered,
+                    # and ``last_acked`` is our own resume cursor.
+                    pass
+                self.last_acked = event_id
+                yield header
+                continue
+            if kind == "stream_end":
+                self.total = int(header.get("total", -1))
+                return
+            if kind == "goaway":
+                return
+            if kind == "error":
+                raise GatewayError(
+                    f"{header.get('code', 'error')}: {header.get('message')}"
+                )
+            raise GatewayError(
+                f"unexpected {kind!r} frame on watch session"
+            )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def kill(self) -> None:
+        self._conn.kill()
+
+    def __enter__(self) -> "WatchClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AdminClient:
+    """Request/response control plane: lifecycle, stats, checkpoints."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._conn = GatewayConnection(
+            host, port, timeout=timeout, max_frame_bytes=max_frame_bytes
+        )
+        _handshake(self._conn, {
+            "type": "hello", "proto": WIRE_FORMAT, "role": "admin",
+        })
+        self._rid = 0
+
+    def _request(
+        self, header: Dict, payload: Optional[np.ndarray] = None
+    ) -> Dict:
+        self._rid += 1
+        header = dict(header, rid=self._rid)
+        self._conn.send(header, payload)
+        while True:
+            reply, _ = self._conn.recv()
+            if reply.get("type") == "goaway":
+                raise GatewayClosed("server draining", reply.get("resume"))
+            if reply.get("rid") != self._rid:
+                continue
+            if reply.get("type") == "error":
+                raise GatewayError(
+                    f"{reply.get('code', 'error')}: {reply.get('message')}"
+                )
+            return reply
+
+    def subscribe(
+        self, qid: int, cell_ids, num_frames: int, label: str = ""
+    ) -> int:
+        """Admit a query mid-stream; returns the shard it landed on.
+
+        The query is sketched server-side under the service's own hash
+        family, so the caller ships raw cell ids — no family state
+        crosses the wire.
+        """
+        reply = self._request(
+            {"type": "subscribe", "qid": int(qid),
+             "num_frames": int(num_frames), "label": label},
+            np.asarray(cell_ids, dtype=np.int64),
+        )
+        return int(reply["shard"])
+
+    def unsubscribe(self, qid: int) -> None:
+        self._request({"type": "unsubscribe", "qid": int(qid)})
+
+    def list_queries(self) -> List[Dict]:
+        return list(self._request({"type": "list_queries"})["queries"])
+
+    def stats(self) -> Dict:
+        """The merged ``repro.obs/1`` snapshot, gateway section included."""
+        return dict(self._request({"type": "stats"})["snapshot"])
+
+    def checkpoint(self) -> str:
+        """Ask the gateway to write a service checkpoint; returns its
+        path (requires the server to be started with a checkpoint
+        directory)."""
+        return str(self._request({"type": "checkpoint"})["path"])
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "AdminClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,238 @@
+"""The ``repro.wire/1`` frame codec: the gateway's binary protocol.
+
+Every message on a gateway connection is one *frame*:
+
+.. code-block:: text
+
+    +----------------+---------------------------------------+----------+
+    | u32 body_len   | body                                  | u32 crc  |
+    +----------------+---------------------------------------+----------+
+
+    body := u32 header_len | header_json (utf-8) | payload_bytes
+
+All integers are big-endian. ``crc`` is ``zlib.crc32`` over the whole
+body, so any in-flight corruption of header or payload is rejected
+before JSON parsing. ``body_len`` is validated against a configurable
+``max_frame_bytes`` *before* the body is read — a hostile or broken
+peer cannot make the receiver allocate an arbitrary buffer.
+
+The header is a small JSON object; its ``"type"`` key names the
+message. Frames that carry an array (cell-id chunks, query cell ids)
+describe it in the header under ``"payload"`` (``dtype`` as a numpy
+dtype string including byte order, ``shape`` as a list) and append the
+raw ``tobytes()`` bytes after the header — numbers never pass through
+JSON.
+
+Version negotiation happens at HELLO: the client's first frame carries
+``{"type": "hello", "proto": "repro.wire/1", ...}``. A server that does
+not speak the offered protocol replies with an error frame naming the
+versions it supports and closes; nothing else is ever sent across a
+version mismatch.
+
+The codec is transport-agnostic: :func:`encode_frame` /
+:func:`decode_frame` work on bytes, :class:`FrameReader` assembles
+frames from an arbitrary chunking of the byte stream (both the asyncio
+server and the blocking client feed it whatever ``recv`` returned).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GatewayError
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameCorrupt",
+    "FrameReader",
+    "FrameTooLarge",
+    "WIRE_FORMAT",
+    "decode_frame",
+    "encode_frame",
+]
+
+#: Protocol tag offered at HELLO and checked by both sides.
+WIRE_FORMAT = "repro.wire/1"
+
+#: Default ceiling on one frame's body (header + payload).
+DEFAULT_MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_U32 = struct.Struct("!I")
+#: Fixed bytes around the body: the length prefix and the CRC trailer.
+FRAME_OVERHEAD = 2 * _U32.size
+
+
+class FrameTooLarge(GatewayError):
+    """A frame announced (or would need) a body over the size guard."""
+
+
+class FrameCorrupt(GatewayError):
+    """A frame failed CRC, structural, or header validation."""
+
+
+def encode_frame(
+    header: Dict[str, object],
+    payload: Optional[np.ndarray] = None,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """Serialise one message to wire bytes.
+
+    ``header`` must be JSON-serialisable and should carry a ``"type"``
+    key. When ``payload`` is given, its dtype/shape are recorded in the
+    header under ``"payload"`` (any caller-set ``"payload"`` key is
+    overwritten) and its bytes travel after the header.
+    """
+    header = dict(header)
+    payload_bytes = b""
+    if payload is not None:
+        array = np.ascontiguousarray(payload)
+        header["payload"] = {
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+        }
+        payload_bytes = array.tobytes()
+    else:
+        header.pop("payload", None)
+    header_json = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    body = _U32.pack(len(header_json)) + header_json + payload_bytes
+    if len(body) > max_frame_bytes:
+        raise FrameTooLarge(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte guard"
+        )
+    return _U32.pack(len(body)) + body + _U32.pack(zlib.crc32(body))
+
+
+def _decode_body(body: bytes) -> Tuple[Dict[str, object], Optional[np.ndarray]]:
+    if len(body) < _U32.size:
+        raise FrameCorrupt(
+            f"frame body of {len(body)} bytes cannot hold a header length"
+        )
+    (header_len,) = _U32.unpack_from(body)
+    if _U32.size + header_len > len(body):
+        raise FrameCorrupt(
+            f"frame header length {header_len} overruns a "
+            f"{len(body)}-byte body"
+        )
+    header_json = body[_U32.size : _U32.size + header_len]
+    try:
+        header = json.loads(header_json.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameCorrupt(f"frame header is not valid JSON: {error}")
+    if not isinstance(header, dict) or "type" not in header:
+        raise FrameCorrupt("frame header must be an object with a 'type'")
+    payload_bytes = body[_U32.size + header_len :]
+    spec = header.get("payload")
+    if spec is None:
+        if payload_bytes:
+            raise FrameCorrupt(
+                f"{len(payload_bytes)} payload bytes but no payload "
+                "descriptor in the header"
+            )
+        return header, None
+    try:
+        dtype = np.dtype(str(spec["dtype"]))
+        shape = tuple(int(n) for n in spec["shape"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise FrameCorrupt(f"bad payload descriptor {spec!r}: {error}")
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    if expected != len(payload_bytes):
+        raise FrameCorrupt(
+            f"payload descriptor {spec!r} wants {expected} bytes, "
+            f"frame carries {len(payload_bytes)}"
+        )
+    array = np.frombuffer(payload_bytes, dtype=dtype).reshape(shape)
+    return header, array.copy()  # own the memory; the buffer is reused
+
+
+def decode_frame(
+    data: bytes,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Tuple[Dict[str, object], Optional[np.ndarray], int]:
+    """Decode one complete frame from the head of ``data``.
+
+    Returns ``(header, payload, bytes_consumed)``. Raises
+    :class:`FrameCorrupt` on truncation — for incremental reads off a
+    socket, use :class:`FrameReader`, which distinguishes "not yet
+    complete" from "broken".
+    """
+    reader = FrameReader(max_frame_bytes=max_frame_bytes)
+    frames = reader.feed(data)
+    if not frames:
+        raise FrameCorrupt(
+            f"truncated frame: {len(data)} bytes do not complete one frame"
+        )
+    header, payload = frames[0]
+    return header, payload, reader.consumed - reader.buffered
+
+
+class FrameReader:
+    """Incremental frame assembly over an arbitrarily chunked byte feed.
+
+    ``feed(data)`` returns every frame completed by ``data`` (possibly
+    none, possibly several). Oversized announcements raise
+    :class:`FrameTooLarge` immediately — before buffering the body —
+    and CRC or structural failures raise :class:`FrameCorrupt`; both
+    poison the reader (a byte stream is unrecoverable after a framing
+    error, the connection must be dropped).
+    """
+
+    def __init__(
+        self, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    ) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._buffer = bytearray()
+        self._poisoned: Optional[GatewayError] = None
+        self.frames_decoded = 0
+        self.consumed = 0  # total bytes fed
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(
+        self, data: bytes
+    ) -> List[Tuple[Dict[str, object], Optional[np.ndarray]]]:
+        """Absorb ``data``; return the frames it completed, in order."""
+        if self._poisoned is not None:
+            raise self._poisoned
+        self.consumed += len(data)
+        self._buffer.extend(data)
+        frames = []
+        try:
+            while True:
+                if len(self._buffer) < _U32.size:
+                    break
+                (body_len,) = _U32.unpack_from(self._buffer)
+                if body_len > self.max_frame_bytes:
+                    raise FrameTooLarge(
+                        f"peer announced a {body_len}-byte frame body; "
+                        f"the guard is {self.max_frame_bytes} bytes"
+                    )
+                total = _U32.size + body_len + _U32.size
+                if len(self._buffer) < total:
+                    break
+                body = bytes(self._buffer[_U32.size : _U32.size + body_len])
+                (crc,) = _U32.unpack_from(self._buffer, _U32.size + body_len)
+                if zlib.crc32(body) != crc:
+                    raise FrameCorrupt(
+                        f"frame CRC mismatch (got {crc:#010x}, "
+                        f"computed {zlib.crc32(body):#010x})"
+                    )
+                del self._buffer[:total]
+                frames.append(_decode_body(body))
+                self.frames_decoded += 1
+        except GatewayError as error:
+            self._poisoned = error
+            raise
+        return frames

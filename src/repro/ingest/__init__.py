@@ -33,7 +33,7 @@ from repro.ingest.scheduler import (
     SchedulingPolicy,
     StreamScheduler,
 )
-from repro.ingest.session import StreamSession
+from repro.ingest.session import DetectorSink, StreamSession
 from repro.ingest.sources import (
     CellIdSource,
     EncodedChunkSource,
@@ -49,6 +49,7 @@ __all__ = [
     "CellIdSource",
     "DecodedChunk",
     "DegradationPolicy",
+    "DetectorSink",
     "EncodedChunkSource",
     "FAULT_PRESETS",
     "FaultInjector",

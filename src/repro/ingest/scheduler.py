@@ -239,6 +239,17 @@ class StreamScheduler:
         self._max_cost = 1.0
         self.rounds = 0
         self._lifecycle_ops: List[tuple] = []
+        self._stop_requested = threading.Event()
+
+    def request_stop(self) -> None:
+        """Ask :meth:`run` to stop at the next round boundary.
+
+        Safe to call from any thread (e.g. a signal handler). The loop
+        stops pumping new chunks, drains every in-flight chunk, then
+        flushes each unfinished session's window tail — an interrupted
+        run loses no decoded frame that had already entered a session.
+        """
+        self._stop_requested.set()
 
     # ------------------------------------------------------------------
     # online query maintenance
@@ -367,6 +378,15 @@ class StreamScheduler:
                 self._record_failure(stream, error)
         stream.finished = True
 
+    def _drain(self, pool: DetectorPool) -> None:
+        """Stop-request path: wait out in-flight chunks, flush tails."""
+        while any(stream.in_flight for stream in self.streams):
+            self._collect(pool, block=True)
+        for stream in self.streams:
+            if not stream.finished:
+                self._finish_stream(stream)
+        self.registry.inc("ingest.stop_drains")
+
     def _serve_round_robin(
         self, pool: DetectorPool, active: List[ScheduledStream]
     ) -> int:
@@ -430,6 +450,9 @@ class StreamScheduler:
         wait_rounds = self.registry.distribution("ingest.scheduler_wait")
         try:
             while True:
+                if self._stop_requested.is_set():
+                    self._drain(pool)
+                    break
                 active = self._active()
                 if not active:
                     break

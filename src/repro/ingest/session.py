@@ -41,7 +41,41 @@ from repro.obs.registry import MetricsRegistry
 from repro.serve.checkpoint import CheckpointManager, ServiceCheckpoint
 from repro.serve.state import restore_worker_state, worker_state
 
-__all__ = ["StreamSession"]
+__all__ = ["DetectorSink", "StreamSession"]
+
+
+class DetectorSink:
+    """Interface a :class:`StreamSession` drives when it does not own a
+    detector of its own.
+
+    The default session builds a private
+    :class:`~repro.core.detector.StreamingDetector` +
+    :class:`~repro.core.live.LiveMonitor` pair. A *sink* replaces that
+    pair with any object exposing the same five operations — the
+    network gateway uses one to route a remote stream's chunks, after
+    seq-dedupe and degradation handling, into a shared
+    :class:`~repro.serve.DetectionService` instead.
+    """
+
+    def push_cell_ids(self, cell_ids) -> List[Match]:
+        """Feed decoded key-frame cell ids; return matches produced."""
+        raise NotImplementedError
+
+    def skip_frames(self, num_frames: int) -> None:
+        """Advance the window clock over undecodable/lost frames."""
+        raise NotImplementedError
+
+    def flush(self) -> List[Match]:
+        """Process the trailing partial window at end of stream."""
+        raise NotImplementedError
+
+    def subscribe(self, query) -> None:
+        """Add a continuous query at a chunk boundary."""
+        raise NotImplementedError
+
+    def unsubscribe(self, qid: int) -> None:
+        """Drop a continuous query at a chunk boundary."""
+        raise NotImplementedError
 
 
 class StreamSession:
@@ -70,6 +104,13 @@ class StreamSession:
         delivered content.
     cap_hint:
         Candidate-expiry floor forwarded to the detector.
+    sink:
+        Optional :class:`DetectorSink`. When given, the session owns no
+        detector: chunks still pass through its seq-dedupe, decode and
+        degradation machinery, but the surviving cell ids go to the
+        sink (e.g. a shared :class:`~repro.serve.DetectionService`
+        behind the gateway). Sink-backed sessions cannot checkpoint
+        themselves — checkpoint the backing service instead.
     """
 
     def __init__(
@@ -83,6 +124,7 @@ class StreamSession:
         fill_cell_id: int = 0,
         chunk_keyframes_hint: int = 0,
         cap_hint: int = 0,
+        sink: Optional[DetectorSink] = None,
     ) -> None:
         self.stream_id = stream_id
         self.config = config
@@ -92,14 +134,18 @@ class StreamSession:
         self.fill_cell_id = int(fill_cell_id)
         self.chunk_keyframes_hint = int(chunk_keyframes_hint)
         self.registry = MetricsRegistry()
-        self.detector = StreamingDetector(
-            config,
-            queries,
-            keyframes_per_second,
-            registry=self.registry,
-            cap_hint=cap_hint,
-        )
-        self.monitor = LiveMonitor(self.detector, extractor)
+        if sink is None:
+            self.detector = StreamingDetector(
+                config,
+                queries,
+                keyframes_per_second,
+                registry=self.registry,
+                cap_hint=cap_hint,
+            )
+            self.monitor = LiveMonitor(self.detector, extractor)
+        else:
+            self.detector = None
+            self.monitor = sink
         self.decoder = ResilientDecoder(extractor)
         self.matches: List[Match] = []
         self.failed = False
@@ -225,12 +271,18 @@ class StreamSession:
         is processing one of this session's chunks); the scheduler's
         lifecycle forwarding guarantees that.
         """
-        self.detector.subscribe(query)
+        if self.detector is None:
+            self.monitor.subscribe(query)
+        else:
+            self.detector.subscribe(query)
         self.registry.inc("ingest.queries_subscribed")
 
     def unsubscribe(self, qid: int) -> None:
         """Drop a continuous query, purging its in-flight state."""
-        self.detector.unsubscribe(qid)
+        if self.detector is None:
+            self.monitor.unsubscribe(qid)
+        else:
+            self.detector.unsubscribe(qid)
         self.registry.inc("ingest.queries_unsubscribed")
 
     # ------------------------------------------------------------------
@@ -243,6 +295,11 @@ class StreamSession:
         path: Union[str, pathlib.Path, None] = None,
     ) -> pathlib.Path:
         """Snapshot this session as a one-worker service checkpoint."""
+        if self.detector is None:
+            raise IngestError(
+                f"stream {self.stream_id} session is sink-backed; "
+                "checkpoint the backing service, not the session"
+            )
         snapshot = ServiceCheckpoint(
             config=self.config,
             keyframes_per_second=self.keyframes_per_second,

@@ -763,6 +763,13 @@ class DetectionService:
         """The full merged match stream collected so far."""
         return self.collector.matches
 
+    @property
+    def family(self):
+        """The min-hash family the subscribed queries were sketched
+        under — new subscriptions (e.g. admitted over the gateway) must
+        sketch against the same family."""
+        return self._family
+
     # ------------------------------------------------------------------
     # query admission (subscription churn)
     # ------------------------------------------------------------------

@@ -1,0 +1,224 @@
+"""The ``repro.wire/1`` frame codec: round-trips and rejection paths."""
+
+import json
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gateway.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameCorrupt,
+    FrameReader,
+    FrameTooLarge,
+    WIRE_FORMAT,
+    decode_frame,
+    encode_frame,
+)
+
+_U32 = struct.Struct("!I")
+
+_json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(1 << 53), 1 << 53),
+    st.text(max_size=40),
+)
+
+_headers = st.fixed_dictionaries(
+    {"type": st.text(min_size=1, max_size=20)},
+    optional={
+        "seq": st.integers(0, 1 << 40),
+        "note": _json_scalars,
+        "nested": st.dictionaries(
+            st.text(min_size=1, max_size=10), _json_scalars, max_size=4
+        ),
+    },
+)
+
+_dtypes = st.sampled_from(["<i8", "<i4", "<f8", "<f4", "<u1", ">i8"])
+
+_payloads = st.one_of(
+    st.none(),
+    st.tuples(
+        _dtypes, st.integers(0, 64), st.integers(0, 10_000)
+    ).map(
+        lambda spec: (
+            np.arange(spec[1], dtype=np.int64) + spec[2]
+        ).astype(np.dtype(spec[0]))
+    ),
+    # 2-D payloads exercise the shape descriptor.
+    st.tuples(st.integers(0, 8), st.integers(1, 8)).map(
+        lambda hw: np.arange(hw[0] * hw[1], dtype=np.int64).reshape(hw)
+    ),
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(header=_headers, payload=_payloads)
+    def test_encode_decode_identity(self, header, payload):
+        wire = encode_frame(header, payload)
+        got_header, got_payload, consumed = decode_frame(wire)
+        assert consumed == len(wire)
+        expected = dict(header)
+        expected.pop("payload", None)
+        if payload is None:
+            assert got_payload is None
+        else:
+            assert got_payload.dtype == payload.dtype
+            assert got_payload.shape == payload.shape
+            np.testing.assert_array_equal(got_payload, payload)
+            expected["payload"] = {
+                "dtype": payload.dtype.str,
+                "shape": list(payload.shape),
+            }
+        assert got_header == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        frames=st.lists(
+            st.tuples(_headers, _payloads), min_size=1, max_size=6
+        ),
+        chunk_size=st.integers(1, 64),
+    )
+    def test_reader_reassembles_any_chunking(self, frames, chunk_size):
+        wire = b"".join(encode_frame(h, p) for h, p in frames)
+        reader = FrameReader()
+        decoded = []
+        for start in range(0, len(wire), chunk_size):
+            decoded.extend(reader.feed(wire[start : start + chunk_size]))
+        assert len(decoded) == len(frames)
+        assert reader.frames_decoded == len(frames)
+        assert reader.buffered == 0
+        for (header, payload), (got_header, got_payload) in zip(
+            frames, decoded
+        ):
+            assert got_header["type"] == header["type"]
+            if payload is None:
+                assert got_payload is None
+            else:
+                np.testing.assert_array_equal(got_payload, payload)
+
+    def test_decoded_payload_owns_its_memory(self):
+        wire = encode_frame({"type": "chunk"}, np.arange(8))
+        _, payload, _ = decode_frame(wire)
+        payload[0] = 99  # must not raise: the buffer was copied
+
+
+class TestRejection:
+    @settings(max_examples=40, deadline=None)
+    @given(header=_headers, payload=_payloads, cut=st.integers(1, 200))
+    def test_truncated_frame_rejected_by_decode(self, header, payload, cut):
+        wire = encode_frame(header, payload)
+        truncated = wire[: max(0, len(wire) - cut)]
+        with pytest.raises(FrameCorrupt):
+            decode_frame(truncated)
+
+    @settings(max_examples=40, deadline=None)
+    @given(header=_headers, payload=_payloads, data=st.data())
+    def test_bit_flip_fails_crc(self, header, payload, data):
+        wire = bytearray(encode_frame(header, payload))
+        # Flip one bit anywhere past the length prefix: body or CRC.
+        pos = data.draw(st.integers(_U32.size, len(wire) - 1))
+        bit = data.draw(st.integers(0, 7))
+        wire[pos] ^= 1 << bit
+        with pytest.raises(FrameCorrupt):
+            FrameReader().feed(bytes(wire))
+
+    def test_oversized_announcement_rejected_before_buffering(self):
+        guard = 1024
+        reader = FrameReader(max_frame_bytes=guard)
+        with pytest.raises(FrameTooLarge):
+            # Only the 4-byte length prefix arrives; the reader must
+            # reject from the announcement alone.
+            reader.feed(_U32.pack(guard + 1))
+        assert reader.buffered <= _U32.size
+
+    def test_encode_respects_the_guard_too(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame(
+                {"type": "chunk"},
+                np.zeros(1024, dtype=np.int64),
+                max_frame_bytes=256,
+            )
+
+    def test_reader_poisons_after_framing_error(self):
+        good = encode_frame({"type": "ok"})
+        bad = bytearray(good)
+        bad[-1] ^= 0xFF
+        reader = FrameReader()
+        with pytest.raises(FrameCorrupt):
+            reader.feed(bytes(bad))
+        with pytest.raises(FrameCorrupt):
+            reader.feed(good)  # unrecoverable: stays poisoned
+
+    def test_payload_bytes_without_descriptor_rejected(self):
+        header_json = json.dumps({"type": "x"}).encode()
+        body = _U32.pack(len(header_json)) + header_json + b"stray"
+        wire = _U32.pack(len(body)) + body + _U32.pack(zlib.crc32(body))
+        with pytest.raises(FrameCorrupt):
+            decode_frame(wire)
+
+    def test_descriptor_size_mismatch_rejected(self):
+        wire = bytearray(encode_frame({"type": "chunk"}, np.arange(4)))
+        # Rewrite the body, claiming 8 elements while carrying 4.
+        (body_len,) = _U32.unpack_from(wire)
+        body = bytearray(wire[_U32.size : _U32.size + body_len])
+        (header_len,) = _U32.unpack_from(body)
+        header = json.loads(bytes(body[_U32.size : _U32.size + header_len]))
+        header["payload"]["shape"] = [8]
+        new_header = json.dumps(header, separators=(",", ":")).encode()
+        new_body = (
+            _U32.pack(len(new_header))
+            + new_header
+            + bytes(body[_U32.size + header_len :])
+        )
+        rewritten = (
+            _U32.pack(len(new_body))
+            + new_body
+            + _U32.pack(zlib.crc32(new_body))
+        )
+        with pytest.raises(FrameCorrupt):
+            decode_frame(rewritten)
+
+    def test_header_must_be_object_with_type(self):
+        for bad_header in (b"[1,2]", b'"str"', b'{"no_type":1}', b"{bad"):
+            body = _U32.pack(len(bad_header)) + bad_header
+            wire = (
+                _U32.pack(len(body)) + body + _U32.pack(zlib.crc32(body))
+            )
+            with pytest.raises(FrameCorrupt):
+                decode_frame(wire)
+
+
+class TestVersionNegotiation:
+    def test_server_rejects_unknown_wire_format(self):
+        from repro.gateway import GatewayClosed, GatewayConnection
+        from tests.test_gateway import make_service  # shared fixture helper
+
+        from repro.gateway.server import GatewayServer
+
+        service = make_service()
+        handle = GatewayServer(service).run_in_thread()
+        try:
+            conn = GatewayConnection("127.0.0.1", handle.port)
+            conn.send({
+                "type": "hello", "proto": "repro.wire/99", "role": "admin",
+            })
+            with pytest.raises(GatewayClosed):
+                while True:
+                    header, _ = conn.recv()
+                    if header["type"] == "error":
+                        assert WIRE_FORMAT in header["supported"]
+                        break
+                conn.recv()  # server closes after the rejection
+        finally:
+            handle.stop(drain=False, flush=False)
+            service.close()
+
+    def test_default_guard_is_sane(self):
+        assert DEFAULT_MAX_FRAME_BYTES >= 1 << 20
+        assert WIRE_FORMAT == "repro.wire/1"
