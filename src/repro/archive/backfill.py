@@ -1,0 +1,541 @@
+"""Retrospective probing of archived windows for late-subscribed queries.
+
+A query subscribed mid-stream is blind to everything already streamed.
+The :class:`BackfillEngine` closes that gap: when
+``DetectionService.subscribe(query, backfill=N)`` is requested, it
+builds a **single-query** :class:`~repro.core.detector.StreamingDetector`
+and replays the archived windows ``[live_start - N, live_start)``
+through it, exactly as a live worker would have — same
+:meth:`~repro.core.detector.StreamingDetector.process_window` entry,
+same columnar kernels, same Lemma 2 pruning, and in bit/no-index mode
+the planes are re-encoded from the archived sketches with
+:func:`~repro.signature.bitsig.encode_planes_many` (the
+``signature_from_planes`` parity path the live front end uses).
+
+**Why a single-query replay is exact.** In the sharded service a
+query's match stream depends only on its own candidate state, except
+candidate expiry, which uses the *global* cap hint; the engine is
+therefore constructed with the service's cap hint at subscription time
+(which already includes the new query). Replaying from window 0 — or
+from any point at least one candidate horizon before the overlap of
+interest — reproduces bit-for-bit the matches the query would have
+reported had it been subscribed from stream start. That is the golden
+guarantee the equivalence suite pins down.
+
+**Epoch boundary / dedupe.** ``live_start`` is the front end's
+``windows_emitted`` at the subscription barrier: every window below it
+was processed live *without* the query, every window at or above it
+*with* it. The two streams partition the match axis by **candidate
+start**, not by match window: a candidate that began before the
+barrier spans it, and the live engine cannot evaluate it faithfully —
+engine candidates created before the subscribe carry *empty*
+signatures for the new query over the pre-subscribe windows, so their
+matches (and misses) are phantoms of partial information. The job
+therefore probes one candidate horizon **past** the barrier, to
+``live_start + cap_hint``, where every boundary-spanning candidate has
+expired: the replay detector — which has the full archived history —
+emits exactly the matches whose candidate started below ``live_start``,
+and the service suppresses the live engine's matches for this query in
+that same start range (:meth:`BackfillEngine.suppress_bounds`).
+Matches whose candidate starts at or after ``live_start`` are the live
+engine's alone — its post-barrier candidates are built from complete
+information and equal the from-start run's bit for bit. No match is
+double-reported, none is phantom, and the union is exactly the
+from-start stream.
+
+**Asynchrony.** Jobs run on a daemon thread (or are pumped
+synchronously with ``async_mode=False`` — the CLI and the kill/resume
+tests use this for determinism). Work proceeds in bounded window
+slices under the engine lock; a checkpoint acquires the same lock, so
+the persisted ``emitted_through`` watermark is always consistent with
+the retro matches already collected. A resumed job re-probes from its
+``start`` (candidate state is cheap to rebuild and deterministic) but
+suppresses emission below the watermark: no retro match is lost, none
+is duplicated.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DetectorConfig, Representation
+from repro.core.detector import StreamingDetector
+from repro.core.query import Query, QuerySet
+from repro.core.results import Match
+from repro.errors import ArchiveError
+from repro.minhash.family import MinHashFamily
+from repro.minhash.sketch import Sketch
+from repro.minhash.windows import BasicWindow
+from repro.obs.registry import MetricsRegistry
+from repro.signature.bitsig import encode_planes_many
+from repro.archive.ring import SketchArchive
+
+__all__ = ["BackfillEngine", "BackfillJob"]
+
+_EMPTY_CELL_IDS = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class BackfillJob:
+    """One query's retrospective probe over ``[start, end)``.
+
+    ``live_start`` is the subscription barrier (the first window the
+    live engine processed *with* the query); ``end`` extends one
+    candidate horizon past it so boundary-spanning candidates are
+    evaluated with full information. Only matches whose candidate
+    started below ``live_start`` are emitted. ``emitted_through`` is
+    the exclusive window watermark below which retro matches have
+    already been handed to the collector — the resume-suppression
+    point persisted in ``repro.ckpt/4``.
+    """
+
+    query: Query
+    start: int
+    end: int
+    cap_hint: int
+    live_start: int = -1
+    emitted_through: int = -1
+    requested: int = 0
+    probed: int = 0
+    retro_found: int = 0
+    done: bool = False
+    cancelled: bool = False
+    pin_token: Optional[int] = None
+    _detector: Optional[StreamingDetector] = field(
+        default=None, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.emitted_through < 0:
+            self.emitted_through = self.start
+        if self.live_start < 0:
+            self.live_start = self.end
+
+    @property
+    def qid(self) -> int:
+        return self.query.qid
+
+    @property
+    def total_windows(self) -> int:
+        return max(0, self.end - self.start)
+
+    @property
+    def done_windows(self) -> int:
+        if self.done:
+            return self.total_windows
+        return max(0, min(self.emitted_through, self.end) - self.start)
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int, int, int]:
+        """Checkpoint row:
+        ``(qid, start, live_start, end, emitted, cap_hint, found)``."""
+        return (
+            self.qid,
+            self.start,
+            self.live_start,
+            self.end,
+            self.emitted_through,
+            self.cap_hint,
+            self.retro_found,
+        )
+
+
+class BackfillEngine:
+    """Runs backfill jobs against a :class:`SketchArchive`.
+
+    Parameters
+    ----------
+    config / family / keyframes_per_second:
+        The service's detector configuration and stream cadence; the
+        replay detector is built with exactly these.
+    archive:
+        The archive to probe. Its family fingerprint must match.
+    emit:
+        Callback receiving each slice's retro matches in canonical
+        order (the service points this at
+        ``MatchCollector.add_retro``). Called under the engine lock.
+    registry:
+        Service registry for ``archive.backfill_*`` / ``retro_matches``.
+    async_mode:
+        ``True`` runs jobs on a daemon thread; ``False`` leaves them
+        queued until :meth:`pump` is called.
+    slice_windows:
+        Windows probed per lock hold — the checkpoint latency bound.
+    """
+
+    def __init__(
+        self,
+        config: DetectorConfig,
+        family: MinHashFamily,
+        keyframes_per_second: float,
+        archive: SketchArchive,
+        emit: Callable[[List[Match]], None],
+        registry: Optional[MetricsRegistry] = None,
+        async_mode: bool = True,
+        slice_windows: int = 128,
+    ) -> None:
+        if slice_windows < 1:
+            raise ArchiveError(
+                f"slice_windows must be >= 1, got {slice_windows}"
+            )
+        if family.fingerprint != archive.family_fingerprint:
+            raise ArchiveError(
+                "backfill family does not match the archive's: "
+                f"{family.fingerprint} vs {archive.family_fingerprint}"
+            )
+        self.config = config
+        self.family = family
+        self.keyframes_per_second = float(keyframes_per_second)
+        self.window_frames = max(
+            1, round(config.window_seconds * keyframes_per_second)
+        )
+        self.archive = archive
+        self.emit = emit
+        self.registry = registry or MetricsRegistry(timing_enabled=False)
+        self.async_mode = bool(async_mode)
+        self.slice_windows = int(slice_windows)
+        self.jobs: List[BackfillJob] = []
+        self._lock = threading.RLock()
+        self._wake = threading.Condition(self._lock)
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+        self.registry.inc("archive.backfill_probes", 0)
+        self.registry.inc("archive.backfill_jobs", 0)
+        self.registry.inc("archive.retro_matches", 0)
+
+    # -- job admission -------------------------------------------------
+
+    def request(
+        self,
+        query: Query,
+        backfill: int,
+        live_start: int,
+        cap_hint: int,
+    ) -> BackfillJob:
+        """Queue a retrospective probe of the last ``backfill`` windows
+        before ``live_start``, clamped to what the archive retains.
+
+        The probe extends to ``live_start + cap_hint`` so candidates
+        that span the subscription barrier reach expiry under full
+        information; windows past ``live_start`` arrive in the archive
+        as the live stream advances, and the job simply waits for them
+        (:meth:`finalize` truncates the horizon when the stream ends).
+        """
+        if backfill < 0:
+            raise ArchiveError(
+                f"backfill must be >= 0, got {backfill}"
+            )
+        if query.sketch.family != self.family.fingerprint:
+            raise ArchiveError(
+                f"query {query.qid} was sketched under a different "
+                "family than the archive"
+            )
+        lo, _ = self.archive.available()
+        start = max(lo, live_start - backfill)
+        with self._lock:
+            job = BackfillJob(
+                query=query,
+                start=start,
+                end=(
+                    live_start + int(cap_hint)
+                    if start < live_start
+                    else start
+                ),
+                cap_hint=int(cap_hint),
+                live_start=int(live_start),
+                requested=int(backfill),
+            )
+            if job.total_windows == 0:
+                # Nothing retained below the barrier: nothing to
+                # replay, so the legacy join semantics (no shadow, no
+                # suppression) apply.
+                job.done = True
+            else:
+                job.pin_token = self.archive.pin(job.start, job.end)
+            self.jobs.append(job)
+            self.registry.inc("archive.backfill_jobs")
+            self._wake.notify_all()
+        if self.async_mode and job.total_windows:
+            self._ensure_thread()
+        return job
+
+    def restore_job(
+        self,
+        row: Tuple[int, int, int, int, int, int, int],
+        queries: Dict[int, Query],
+    ) -> Optional[BackfillJob]:
+        """Re-queue a checkpointed job; ``None`` if its query is gone."""
+        qid, start, live_start, end, emitted, cap_hint, found = (
+            int(v) for v in row
+        )
+        query = queries.get(qid)
+        if query is None:
+            return None
+        with self._lock:
+            job = BackfillJob(
+                query=query,
+                start=start,
+                end=end,
+                cap_hint=cap_hint,
+                live_start=live_start,
+                emitted_through=emitted,
+                retro_found=found,
+            )
+            if job.emitted_through >= job.end:
+                job.done = True
+            else:
+                job.pin_token = self.archive.pin(job.start, job.end)
+            self.jobs.append(job)
+            self._wake.notify_all()
+        if self.async_mode and not job.done:
+            self._ensure_thread()
+        return job
+
+    def cancel(self, qid: int) -> None:
+        """Abandon any in-flight or queued jobs for ``qid``
+        (unsubscribe during backfill). Completed jobs are cancelled
+        too: their live-suppression bound must not outlive the
+        subscription, or a later re-subscribe of the same qid would
+        inherit a stale boundary."""
+        with self._lock:
+            for job in self.jobs:
+                if job.qid == qid and not job.cancelled:
+                    job.cancelled = True
+                    if not job.done:
+                        job.done = True
+                        self._release_pin(job)
+
+    # -- execution -----------------------------------------------------
+
+    def pump(self, max_windows: Optional[int] = None) -> int:
+        """Probe up to ``max_windows`` archived windows synchronously;
+        returns windows probed (0 when no work is pending)."""
+        budget = max_windows
+        probed = 0
+        while budget is None or probed < budget:
+            step = self.slice_windows
+            if budget is not None:
+                step = min(step, budget - probed)
+            advanced = self._step(step)
+            if advanced == 0:
+                break
+            probed += advanced
+        return probed
+
+    def _step(self, max_windows: int) -> int:
+        with self._lock:
+            job = next(
+                (job for job in self.jobs if not job.done), None
+            )
+            if job is None:
+                return 0
+            return self._probe_slice(job, max_windows)
+
+    def _probe_slice(self, job: BackfillJob, max_windows: int) -> int:
+        """Probe one bounded slice of ``job`` (lock held)."""
+        if job._detector is None:
+            job._detector = StreamingDetector(
+                self.config,
+                QuerySet([job.query], self.family),
+                self.keyframes_per_second,
+                registry=MetricsRegistry(timing_enabled=False),
+                cap_hint=job.cap_hint,
+            )
+            job._cursor = job.start
+        detector = job._detector
+        planes_mode = (
+            self.config.representation is Representation.BIT
+            and not self.config.use_index
+        )
+        matrix = job.query.sketch.values[np.newaxis, :]
+        cursor = job._cursor
+        # Never advance past the archive watermark: the shadow stretch
+        # of the job waits for the live stream to archive its windows.
+        upto = min(
+            job.end,
+            cursor + max_windows,
+            max(cursor, self.archive.next_index),
+        )
+        if upto <= cursor:
+            return 0
+        # Only matches whose candidate began before the subscription
+        # barrier belong to the retro stream; later starts are the live
+        # engine's (which the service leaves unsuppressed).
+        boundary_frame = job.live_start * self.window_frames
+        probed = 0
+        emitted: List[Match] = []
+        for block in self.archive.iter_blocks(cursor, upto):
+            indices, starts, frames, values = block
+            ge = lt = None
+            if planes_mode:
+                ge, lt = encode_planes_many(values, matrix)
+            for row in range(indices.shape[0]):
+                window = BasicWindow(
+                    index=int(indices[row]),
+                    start_frame=int(starts[row]),
+                    num_frames=int(frames[row]),
+                    cell_ids=_EMPTY_CELL_IDS,
+                    sketch=Sketch._raw(
+                        values[row], self.family.fingerprint
+                    ),
+                )
+                planes = (
+                    (ge[row], lt[row]) if planes_mode else None
+                )
+                matches = detector.process_window(window, planes=planes)
+                probed += 1
+                if window.index >= job.emitted_through:
+                    emitted.extend(
+                        match for match in matches
+                        if match.start_frame < boundary_frame
+                    )
+        self.registry.inc("archive.backfill_probes", probed)
+        job.probed += probed
+        if emitted:
+            emitted.sort(
+                key=lambda m: (m.window_index, m.start_frame, m.qid)
+            )
+            self.emit(emitted)
+            job.retro_found += len(emitted)
+            self.registry.inc("archive.retro_matches", len(emitted))
+        job._cursor = upto
+        job.emitted_through = max(job.emitted_through, upto)
+        if upto >= job.end:
+            job.done = True
+            job._detector = None
+            self._release_pin(job)
+        return upto - cursor
+
+    def _release_pin(self, job: BackfillJob) -> None:
+        if job.pin_token is not None:
+            self.archive.unpin(job.pin_token)
+            job.pin_token = None
+
+    # -- thread management --------------------------------------------
+
+    def _ensure_thread(self) -> None:
+        with self._lock:
+            if self._stopped or (
+                self._thread is not None and self._thread.is_alive()
+            ):
+                return
+            self._thread = threading.Thread(
+                target=self._run, name="backfill", daemon=True
+            )
+            self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopped:
+                    return
+                job = next(
+                    (job for job in self.jobs if not job.done), None
+                )
+                if job is None:
+                    self._wake.wait(timeout=0.1)
+                    continue
+                if self._probe_slice(job, self.slice_windows) == 0:
+                    # Shadow stretch waiting on the live stream to
+                    # archive more windows — don't spin on the lock.
+                    self._wake.wait(timeout=0.05)
+
+    def finalize(self) -> None:
+        """Truncate every job's horizon to the archive watermark: the
+        stream has ended, so the shadow windows a job was waiting for
+        will never arrive. Called by the service's final flush (after
+        the tail window is archived); a following :meth:`drain` then
+        completes."""
+        with self._lock:
+            for job in self.jobs:
+                if job.done:
+                    continue
+                job.end = min(
+                    job.end, max(job.start, self.archive.next_index)
+                )
+                if job.emitted_through >= job.end:
+                    job.done = True
+                    job._detector = None
+                    self._release_pin(job)
+            self._wake.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Finish every queued job; in async mode waits (up to
+        ``timeout`` seconds), otherwise pumps inline. Returns whether
+        the queue is fully drained."""
+        if not self.async_mode or self._thread is None:
+            self.pump()
+            return not self.pending
+        waited = 0.0
+        step = 0.02
+        while self.pending:
+            if timeout is not None and waited >= timeout:
+                return False
+            time.sleep(step)
+            waited += step
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            self._stopped = True
+            self._wake.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- introspection / checkpoint -----------------------------------
+
+    @property
+    def pending(self) -> bool:
+        with self._lock:
+            return any(not job.done for job in self.jobs)
+
+    def progress(self) -> Dict[int, Tuple[int, int, int]]:
+        """qid → ``(total, done, retro_found)`` over that qid's jobs."""
+        with self._lock:
+            out: Dict[int, Tuple[int, int, int]] = {}
+            for job in self.jobs:
+                total, done, found = out.get(job.qid, (0, 0, 0))
+                out[job.qid] = (
+                    total + job.total_windows,
+                    done + job.done_windows,
+                    found + job.retro_found,
+                )
+            return out
+
+    def suppress_bounds(self) -> Dict[int, int]:
+        """qid → start-frame bound below which the live engine's
+        matches are phantoms (candidates that predate the query's
+        subscription, evaluated with empty pre-barrier signatures).
+        The replay detector emits the true matches for those starts,
+        so the service drops the live ones. Bounds persist after a job
+        completes — inert once the spanning candidates expire, but
+        closing the window where an in-flight live batch could race
+        the job's completion — and die with :meth:`cancel`."""
+        with self._lock:
+            bounds: Dict[int, int] = {}
+            for job in self.jobs:
+                if job.cancelled or job.start >= job.live_start:
+                    continue
+                frame = job.live_start * self.window_frames
+                bounds[job.qid] = max(bounds.get(job.qid, 0), frame)
+            return bounds
+
+    def checkpoint_rows(
+        self,
+    ) -> List[Tuple[int, int, int, int, int, int]]:
+        """Unfinished jobs as ``repro.ckpt/4`` rows (lock held by the
+        caller via :meth:`paused`)."""
+        with self._lock:
+            return [
+                job.as_tuple() for job in self.jobs if not job.done
+            ]
+
+    def paused(self):
+        """Context manager: hold the engine lock (quiesce for
+        checkpointing — no slice can run while held)."""
+        return self._lock

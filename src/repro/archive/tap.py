@@ -1,0 +1,181 @@
+"""Gap-aware archive tap for lossy per-stream ingestion.
+
+The sharded service taps its :class:`~repro.serve.frontend.StreamFrontend`
+directly — that stream never has holes (the service sees every chunk it
+ingests). A :class:`~repro.ingest.session.StreamSession` is different:
+its degradation policies *lose* frames (undecodable GOPs skipped,
+chunks dropped in flight), and the session keeps the window clock
+honest by sacrificing every basic window a gap touches
+(:meth:`~repro.core.live.LiveMonitor.skip_frames`).
+
+:class:`ArchiveTap` mirrors exactly that clock discipline for the
+archive: frames that survive degradation are buffered, cut into basic
+windows at the same boundaries the session's monitor uses, sketched and
+appended to a :class:`~repro.archive.ring.SketchArchive`; skipped spans
+advance the archive watermark as *gaps* (:meth:`SketchArchive.note_gap`)
+— never archived, never misindexed. A window the live detector
+sacrificed is therefore also absent from the archive, so a later
+backfill probes precisely the windows the stream actually delivered.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ArchiveError
+from repro.minhash.family import MinHashFamily
+from repro.obs.registry import MetricsRegistry
+from repro.archive.ring import SketchArchive
+
+__all__ = ["ArchiveTap"]
+
+
+class ArchiveTap:
+    """Cuts a (possibly lossy) cell-id stream into archived windows.
+
+    Parameters
+    ----------
+    archive:
+        The destination archive; its hash family must be ``family``.
+    family:
+        The min-hash family the queries were sketched under.
+    window_frames:
+        Basic-window length in key frames — must equal the session
+        detector's, or archived indices would not align with live ones.
+    registry:
+        Session registry for the ``ingest.archive_*`` counters.
+    """
+
+    def __init__(
+        self,
+        archive: SketchArchive,
+        family: MinHashFamily,
+        window_frames: int,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if family.fingerprint != archive.family_fingerprint:
+            raise ArchiveError(
+                "archive tap family does not match the archive's: "
+                f"{family.fingerprint} vs {archive.family_fingerprint}"
+            )
+        if window_frames < 1:
+            raise ArchiveError(
+                f"window_frames must be >= 1, got {window_frames}"
+            )
+        self.archive = archive
+        self.family = family
+        self.window_frames = int(window_frames)
+        self.registry = registry or MetricsRegistry(timing_enabled=False)
+        self._pending = np.empty(0, dtype=np.int64)
+        self._skip_remaining = 0
+        self._flushed = False
+        self.windows_emitted = archive.next_index
+        self.frames_emitted = self.windows_emitted * self.window_frames
+        self.registry.inc("ingest.archive_windows", 0)
+        self.registry.inc("ingest.archive_gap_windows", 0)
+
+    @property
+    def pending_frames(self) -> int:
+        return int(self._pending.shape[0])
+
+    @property
+    def skip_remaining(self) -> int:
+        return self._skip_remaining
+
+    # ------------------------------------------------------------------
+    # stream input (mirrors LiveMonitor's clock discipline)
+    # ------------------------------------------------------------------
+
+    def push_cell_ids(
+        self, cell_ids: Union[Sequence[int], np.ndarray]
+    ) -> int:
+        """Buffer surviving frames; archive every completed window.
+        Returns windows archived by this push."""
+        if self._flushed:
+            raise ArchiveError("archive tap already flushed")
+        ids = np.asarray(cell_ids, dtype=np.int64)
+        if self._skip_remaining:
+            drop = min(self._skip_remaining, int(ids.shape[0]))
+            ids = ids[drop:]
+            self._skip_remaining -= drop
+        self._pending = np.concatenate([self._pending, ids])
+        window_frames = self.window_frames
+        full = (self._pending.shape[0] // window_frames) * window_frames
+        if full == 0:
+            return 0
+        ready, self._pending = self._pending[:full], self._pending[full:]
+        return self._emit(ready)
+
+    def _emit(self, ready: np.ndarray) -> int:
+        window_frames = self.window_frames
+        num = ready.shape[0] // window_frames
+        distinct: List[np.ndarray] = [
+            np.unique(ready[start : start + window_frames])
+            for start in range(0, ready.shape[0], window_frames)
+        ]
+        sketches = self.family.sketch_many(distinct)
+        values = np.stack([sketch.values for sketch in sketches])
+        indices = self.windows_emitted + np.arange(num, dtype=np.int64)
+        starts = self.frames_emitted + np.arange(
+            num, dtype=np.int64
+        ) * np.int64(window_frames)
+        frames = np.full(num, window_frames, dtype=np.int64)
+        self.archive.append(indices, starts, frames, values)
+        self.windows_emitted += num
+        self.frames_emitted += num * window_frames
+        self.registry.inc("ingest.archive_windows", num)
+        return num
+
+    def skip_frames(self, count: int) -> None:
+        """Acknowledge lost frames exactly as the session's monitor
+        does: drop the current partial window, advance the watermark
+        over every touched window as a gap, and swallow the remaining
+        real frames of a gap-ending window as they arrive."""
+        if self._flushed:
+            raise ArchiveError("archive tap already flushed")
+        count = int(count)
+        if count <= 0:
+            return
+        window_frames = self.window_frames
+        clock = self.frames_emitted
+        if self._skip_remaining:
+            position = clock - self._skip_remaining
+        else:
+            position = clock + int(self._pending.shape[0])
+        self._pending = np.empty(0, dtype=np.int64)
+        end = position + count
+        boundary = -(-end // window_frames) * window_frames
+        if boundary > clock:
+            gap_windows = (boundary - clock) // window_frames
+            self.archive.note_gap(gap_windows)
+            self.windows_emitted += gap_windows
+            self.frames_emitted = boundary
+            self.registry.inc("ingest.archive_gap_windows", gap_windows)
+        self._skip_remaining = max(boundary, clock) - end
+
+    def flush(self) -> int:
+        """Archive the trailing partial window and seal the open run."""
+        if self._flushed:
+            return 0
+        self._flushed = True
+        self._skip_remaining = 0
+        archived = 0
+        if self._pending.shape[0]:
+            tail, self._pending = self._pending, np.empty(
+                0, dtype=np.int64
+            )
+            sketch = self.family.sketch_many([np.unique(tail)])[0]
+            self.archive.append(
+                np.asarray([self.windows_emitted], dtype=np.int64),
+                np.asarray([self.frames_emitted], dtype=np.int64),
+                np.asarray([tail.shape[0]], dtype=np.int64),
+                sketch.values[np.newaxis, :],
+            )
+            self.windows_emitted += 1
+            self.frames_emitted += int(tail.shape[0])
+            self.registry.inc("ingest.archive_windows")
+            archived = 1
+        self.archive.seal_open_run()
+        return archived

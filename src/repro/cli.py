@@ -167,6 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for service snapshots")
     serve.add_argument("--checkpoint-every", type=int, default=0,
                        metavar="N", help="snapshot every N chunks")
+    serve.add_argument("--checkpoint-keep", type=int, default=0,
+                       metavar="N", help="retain only the newest N "
+                       "snapshots (0 = keep everything; pruning never "
+                       "deletes the only loadable snapshot)")
+    serve.add_argument("--archive-dir", metavar="DIR", default=None,
+                       help="retain every basic window's sketch in a "
+                       "repro.arch/1 segment archive under DIR, "
+                       "enabling --subscribe-at ...:backfill=N")
+    serve.add_argument("--archive-retain", metavar="SPEC", default=None,
+                       help="archive retention bounds as KEY=VALUE "
+                       "pairs joined by ',': windows=N, bytes=N, "
+                       "seconds=S (e.g. 'windows=5000,bytes=64000000'; "
+                       "with no --archive-dir the archive stays "
+                       "in-memory, bounded by windows=)")
+    serve.add_argument("--archive-segment-windows", type=int,
+                       default=256, metavar="N",
+                       help="windows per sealed archive segment (also "
+                       "the archive's resident-memory bound)")
     serve.add_argument("--stop-after", type=int, default=0, metavar="N",
                        help="stop (without flushing) after N chunks — "
                        "pairs with --resume to exercise recovery")
@@ -174,13 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="resume from the latest snapshot in "
                        "--checkpoint-dir")
     serve.add_argument("--subscribe-at", action="append", default=[],
-                       metavar="WINDOW:QUERYFILE",
+                       metavar="WINDOW:QUERYFILE[:backfill=N]",
                        help="subscribe every query in the "
                        "repro.persistence query-set file QUERYFILE at "
                        "the chunk barrier after WINDOW chunks "
                        "(0 = before the first chunk; repeatable; on "
                        "--resume, barriers the checkpoint already "
-                       "contains are skipped)")
+                       "contains are skipped). An optional "
+                       ":backfill=N suffix retrospectively probes the "
+                       "last N archived basic windows for each query "
+                       "(requires --archive-dir or --archive-retain)")
     serve.add_argument("--unsubscribe-at", action="append", default=[],
                        metavar="WINDOW:QID",
                        help="unsubscribe query QID at the chunk barrier "
@@ -430,12 +451,22 @@ def _churn_schedule(args: argparse.Namespace) -> list:
     """
     schedule = []
     for spec in args.subscribe_at:
-        window, sep, path = spec.partition(":")
+        window, sep, rest = spec.partition(":")
+        path, _, option = rest.rpartition(":")
+        if path and option.startswith("backfill="):
+            if not option[len("backfill="):].isdigit():
+                raise ValueError(
+                    f"--subscribe-at backfill needs a number, got {spec!r}"
+                )
+            backfill = int(option[len("backfill="):])
+        else:
+            path, backfill = rest, 0
         if not sep or not path or not window.isdigit():
             raise ValueError(
-                f"--subscribe-at needs WINDOW:QUERYFILE, got {spec!r}"
+                f"--subscribe-at needs WINDOW:QUERYFILE[:backfill=N], "
+                f"got {spec!r}"
             )
-        schedule.append((int(window), 0, "subscribe", path))
+        schedule.append((int(window), 0, "subscribe", (path, backfill)))
     for spec in args.unsubscribe_at:
         window, sep, qid = spec.partition(":")
         if not sep or not window.isdigit() or not qid.lstrip("-").isdigit():
@@ -447,7 +478,33 @@ def _churn_schedule(args: argparse.Namespace) -> list:
     return [(window, kind, payload) for window, _, kind, payload in schedule]
 
 
+def _parse_archive_retain(spec: str) -> dict:
+    """Parse ``--archive-retain`` KEY=VALUE pairs into SketchArchive
+    retention kwargs."""
+    keys = {"windows": ("retain_windows", int),
+            "bytes": ("retain_bytes", int),
+            "seconds": ("retain_seconds", float)}
+    bounds = {}
+    for part in spec.split(","):
+        key, sep, value = part.partition("=")
+        key = key.strip()
+        if not sep or key not in keys:
+            raise ValueError(
+                "--archive-retain needs windows=/bytes=/seconds= "
+                f"pairs, got {part!r}"
+            )
+        name, cast = keys[key]
+        try:
+            bounds[name] = cast(value)
+        except ValueError:
+            raise ValueError(
+                f"--archive-retain {key}= needs a number, got {value!r}"
+            )
+    return bounds
+
+
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro.archive import SketchArchive
     from repro.core.query import QuerySet
     from repro.evaluation.metrics import score_matches
     from repro.minhash.family import MinHashFamily
@@ -463,8 +520,21 @@ def _command_serve(args: argparse.Namespace) -> int:
         return 2
     try:
         churn = _churn_schedule(args)
+        retain = (
+            _parse_archive_retain(args.archive_retain)
+            if args.archive_retain
+            else {}
+        )
     except ValueError as error:
         print(str(error), file=sys.stderr)
+        return 2
+    wants_backfill = any(
+        kind == "subscribe" and payload[1]
+        for _, kind, payload in churn
+    )
+    if wants_backfill and not (args.archive_dir or args.archive_retain):
+        print("--subscribe-at ...:backfill=N requires --archive-dir "
+              "or --archive-retain", file=sys.stderr)
         return 2
     prepared = _build_workload(args)
     config = _detector_config(args)
@@ -477,11 +547,27 @@ def _command_serve(args: argparse.Namespace) -> int:
         for offset in range(0, len(stream), chunk_frames)
     ]
     manager = (
-        CheckpointManager(args.checkpoint_dir)
+        CheckpointManager(
+            args.checkpoint_dir, keep_last=args.checkpoint_keep or None
+        )
         if args.checkpoint_dir
         else None
     )
     policy = BackpressurePolicy(args.policy)
+    # The CLI always derives its family deterministically (seed 0), so an
+    # archive built here carries the same fingerprint on fresh starts and
+    # resumes alike; on resume, recovery reconciles the checkpointed ring
+    # against whatever segments survived on disk.
+    archive = None
+    if args.archive_dir or args.archive_retain:
+        family = MinHashFamily(num_hashes=config.num_hashes, seed=0)
+        archive = SketchArchive(
+            family.fingerprint,
+            config.num_hashes,
+            directory=args.archive_dir,
+            segment_windows=args.archive_segment_windows,
+            **retain,
+        )
     if args.resume:
         service = DetectionService.restore(
             manager,
@@ -491,6 +577,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             policy=policy,
             sketch_once=not args.self_sketch,
             batch_chunks=args.batch_chunks,
+            archive=archive,
+            backfill_async=False,
         )
         start = service.chunks_ingested
         print(f"resumed from chunk {start} "
@@ -511,6 +599,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             policy=policy,
             sketch_once=not args.self_sketch,
             batch_chunks=args.batch_chunks,
+            archive=archive,
+            backfill_async=False,
         )
         start = 0
     print(f"serving {len(chunks)} chunks from chunk {start} across "
@@ -522,11 +612,13 @@ def _command_serve(args: argparse.Namespace) -> int:
             if window != barrier:
                 continue
             if kind == "subscribe":
-                loaded = load_query_set(payload, expected_config=config)
+                path, backfill = payload
+                loaded = load_query_set(path, expected_config=config)
                 for qid in sorted(loaded.query_ids):
-                    shard = service.subscribe(loaded.get(qid))
+                    shard = service.subscribe(loaded.get(qid), backfill=backfill)
+                    suffix = f", backfill={backfill}" if backfill else ""
                     print(f"chunk {barrier}: subscribed query {qid} to "
-                          f"shard {shard} (epoch {service.epoch})")
+                          f"shard {shard} (epoch {service.epoch}{suffix})")
             else:
                 service.unsubscribe(payload)
                 print(f"chunk {barrier}: unsubscribed query {payload} "
@@ -552,6 +644,10 @@ def _command_serve(args: argparse.Namespace) -> int:
             service.process_chunk(chunks[position])
             ingested = service.chunks_ingested
             apply_churn(ingested)
+            if archive is not None:
+                # Synchronous backfill keeps retro output deterministic:
+                # pending probes run at chunk barriers, never mid-chunk.
+                service.pump_backfill()
             if manager and args.checkpoint_every and (
                 ingested % args.checkpoint_every == 0
             ):
@@ -581,6 +677,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             print(f"stopped after chunk {service.chunks_ingested} "
                   "(no --checkpoint-dir, nothing saved)")
     else:
+        if archive is not None:
+            service.drain_backfill()
         service.flush()
         quality = score_matches(
             service.matches,
@@ -589,7 +687,12 @@ def _command_serve(args: argparse.Namespace) -> int:
                 args.window_seconds * prepared.keyframes_per_second
             )),
         )
-        print(f"matches={len(service.matches)} "
+        retro = (
+            f" retro={len(service.retro_matches)}"
+            if archive is not None
+            else ""
+        )
+        print(f"matches={len(service.matches)}{retro} "
               f"precision={quality.precision:.3f} "
               f"recall={quality.recall:.3f}")
     if args.metrics_out:

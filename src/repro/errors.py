@@ -116,6 +116,16 @@ class ServeError(ReproError):
     """
 
 
+class ArchiveError(ReproError):
+    """The sketch archive hit an inconsistent state.
+
+    Examples: a segment file with a bad CRC or foreign format tag,
+    appending windows behind the watermark non-monotonically, probing a
+    backfill query sketched under a different hash family, or a
+    recovery scan finding a hole between otherwise valid segments.
+    """
+
+
 class GatewayError(ReproError):
     """The network gateway hit a protocol or session error.
 

@@ -422,18 +422,29 @@ class AdminClient:
             return reply
 
     def subscribe(
-        self, qid: int, cell_ids, num_frames: int, label: str = ""
+        self,
+        qid: int,
+        cell_ids,
+        num_frames: int,
+        label: str = "",
+        backfill: int = 0,
     ) -> int:
         """Admit a query mid-stream; returns the shard it landed on.
 
         The query is sketched server-side under the service's own hash
         family, so the caller ships raw cell ids — no family state
-        crosses the wire.
+        crosses the wire. ``backfill=N`` asks the service to
+        retrospectively probe the last N archived basic windows for
+        this query (requires a server started with a sketch archive);
+        progress is visible through :meth:`list_queries` —
+        ``backfill_total`` / ``backfill_done`` / ``retro_matches``.
         """
+        request = {"type": "subscribe", "qid": int(qid),
+                   "num_frames": int(num_frames), "label": label}
+        if backfill:
+            request["backfill"] = int(backfill)
         reply = self._request(
-            {"type": "subscribe", "qid": int(qid),
-             "num_frames": int(num_frames), "label": label},
-            np.asarray(cell_ids, dtype=np.int64),
+            request, np.asarray(cell_ids, dtype=np.int64)
         )
         return int(reply["shard"])
 

@@ -417,9 +417,17 @@ class GatewayServer:
                 sketch=service.family.sketch(cells),
                 label=str(args.get("label", "")),
             )
-            shard = service.subscribe(query)
-            return {"type": "subscribed", "qid": query.qid,
-                    "shard": shard, "epoch": service.epoch}, None
+            backfill = int(args.get("backfill", 0))
+            shard = service.subscribe(query, backfill=backfill)
+            reply = {"type": "subscribed", "qid": query.qid,
+                     "shard": shard, "epoch": service.epoch}
+            if backfill:
+                total, done, found = service.backfill_progress().get(
+                    query.qid, (0, 0, 0)
+                )
+                reply["backfill"] = {"total": total, "done": done,
+                                     "retro_matches": found}
+            return reply, None
         if op == "unsubscribe":
             service.unsubscribe(int(args["qid"]))
             return {"type": "unsubscribed", "qid": int(args["qid"]),
@@ -428,7 +436,10 @@ class GatewayServer:
             return {"type": "queries", "queries": [
                 {"qid": info.qid, "shard": info.shard,
                  "cap_windows": info.cap_windows,
-                 "num_frames": info.num_frames, "label": info.label}
+                 "num_frames": info.num_frames, "label": info.label,
+                 "backfill_total": info.backfill_total,
+                 "backfill_done": info.backfill_done,
+                 "retro_matches": info.retro_matches}
                 for info in service.list_queries()
             ]}, None
         if op == "stats":

@@ -28,6 +28,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.archive import ArchiveTap, SketchArchive
 from repro.config import DetectorConfig
 from repro.core.detector import StreamingDetector
 from repro.core.live import LiveMonitor
@@ -111,6 +112,16 @@ class StreamSession:
         sink (e.g. a shared :class:`~repro.serve.DetectionService`
         behind the gateway). Sink-backed sessions cannot checkpoint
         themselves — checkpoint the backing service instead.
+    archive:
+        Optional per-stream :class:`~repro.archive.SketchArchive`. The
+        session then archives every basic window its degradation
+        machinery lets through, via an
+        :class:`~repro.archive.ArchiveTap` that mirrors the monitor's
+        window clock exactly: skipped windows become archive *gaps*
+        (``ingest.archive_gap_windows``), delivered windows are
+        sketched and retained (``ingest.archive_windows``) — so a late
+        backfill over this stream probes precisely the windows the
+        live detector saw.
     """
 
     def __init__(
@@ -125,6 +136,7 @@ class StreamSession:
         chunk_keyframes_hint: int = 0,
         cap_hint: int = 0,
         sink: Optional[DetectorSink] = None,
+        archive: Optional[SketchArchive] = None,
     ) -> None:
         self.stream_id = stream_id
         self.config = config
@@ -147,6 +159,21 @@ class StreamSession:
             self.detector = None
             self.monitor = sink
         self.decoder = ResilientDecoder(extractor)
+        self._archive_tap: Optional[ArchiveTap] = None
+        if archive is not None:
+            window_frames = (
+                self.detector.window_frames
+                if self.detector is not None
+                else max(
+                    1, round(config.window_seconds * keyframes_per_second)
+                )
+            )
+            self._archive_tap = ArchiveTap(
+                archive,
+                queries.family,
+                window_frames,
+                registry=self.registry,
+            )
         self.matches: List[Match] = []
         self.failed = False
         self._last_seq = -1
@@ -182,6 +209,8 @@ class StreamSession:
             missing = gap_chunks * self.chunk_keyframes_hint
             inc("ingest.frames_missing", missing)
             self.monitor.skip_frames(missing)
+            if self._archive_tap is not None:
+                self._archive_tap.skip_frames(missing)
 
     def process_chunk(self, chunk: StreamChunk) -> List[Match]:
         """Feed one chunk; returns the matches it produced.
@@ -236,17 +265,28 @@ class StreamSession:
             if filled:
                 inc("ingest.frames_filled", filled)
             matches.extend(self.monitor.push_cell_ids(ids))
+            if self._archive_tap is not None:
+                self._archive_tap.push_cell_ids(ids)
         else:  # SKIP_WINDOW
+            tap = self._archive_tap
             position = 0
             for start, segment_ids in decoded.segments:
                 if start > position:
                     self.monitor.skip_frames(start - position)
+                    if tap is not None:
+                        tap.skip_frames(start - position)
                 matches.extend(self.monitor.push_cell_ids(segment_ids))
+                if tap is not None:
+                    tap.push_cell_ids(segment_ids)
                 position = start + segment_ids.shape[0]
             if position < decoded.expected_keyframes:
                 self.monitor.skip_frames(
                     decoded.expected_keyframes - position
                 )
+                if tap is not None:
+                    tap.skip_frames(
+                        decoded.expected_keyframes - position
+                    )
         if matches:
             inc("ingest.matches", len(matches))
             self.matches.extend(matches)
@@ -254,6 +294,8 @@ class StreamSession:
 
     def finish(self) -> List[Match]:
         """Flush the trailing partial window at end of stream."""
+        if self._archive_tap is not None:
+            self._archive_tap.flush()
         matches = self.monitor.flush()
         if matches:
             self.registry.inc("ingest.matches", len(matches))

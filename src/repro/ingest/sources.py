@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.codec.gop import EncodedVideo, encode_video
 from repro.errors import IngestError
+from repro.utils.atomic import atomic_savez
 from repro.utils.rng import derive_seed
 from repro.video.clip import VideoClip
 from repro.video.formats import VideoFormat
@@ -309,8 +310,7 @@ def record_stream(
     payload["num_chunks"] = np.asarray([count], dtype=np.int64)
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **payload)
+    atomic_savez(path, payload)
     return count
 
 

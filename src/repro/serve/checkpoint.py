@@ -10,23 +10,25 @@ flattened detector state (from :mod:`repro.serve.state`), and the
 matches the collector has already merged — so the resumed service's
 cumulative match stream equals an uninterrupted run's.
 
-Writes are atomic: the payload is written to a temporary sibling and
-``os.replace``-d into place, so a crash mid-write leaves the previous
-checkpoint intact rather than a truncated archive.
+Writes are atomic and durable: the payload goes through
+:func:`repro.utils.atomic.atomic_savez` (fsync + tmp-rename), so a
+crash mid-write leaves the previous checkpoint intact rather than a
+truncated archive.
 
 File naming: :class:`CheckpointManager` owns a directory and names each
 snapshot ``ckpt-<chunks_ingested>.npz``; :meth:`CheckpointManager.latest`
 returns the newest by stream position. A bare path also works for
-one-shot save/load.
+one-shot save/load. With ``keep_last=N`` the manager prunes older
+snapshots after each save, but never the newest *loadable* one — if
+every keeper candidate is corrupt, older snapshots survive.
 """
 
 from __future__ import annotations
 
-import os
 import pathlib
 import re
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -42,6 +44,7 @@ from repro.persistence import (
     query_set_payload,
     require_config_match,
 )
+from repro.utils.atomic import atomic_savez
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -58,13 +61,24 @@ __all__ = [
 #: fields) — under sketch-once serving the undigested buffer lives in
 #: the service, not in the workers' monitors, so an older loader would
 #: silently drop those frames.
-CHECKPOINT_FORMAT = "repro.ckpt/3"
+#: ``/4`` added the sketch-archive watermark and unsealed ring
+#: (``archive_*``), the retro match stream (``retro_*``) and in-flight
+#: backfill jobs (``backfill_*``) — without them a kill/resume would
+#: re-archive already-sealed windows or silently drop a backfill.
+CHECKPOINT_FORMAT = "repro.ckpt/4"
 
 #: Older tags :meth:`CheckpointManager.load` still reads. ``/1``
 #: archives predate query churn: they load with ``epoch`` 0. ``/2``
 #: archives predate the sketch-once front end: they load without
 #: front-end state and the service migrates worker 0's monitor buffer.
-COMPATIBLE_FORMATS = ("repro.ckpt/1", "repro.ckpt/2", CHECKPOINT_FORMAT)
+#: ``/3`` archives predate the sketch archive: they load with no
+#: archive state (watermark ``-1``) and empty retro/backfill streams.
+COMPATIBLE_FORMATS = (
+    "repro.ckpt/1",
+    "repro.ckpt/2",
+    "repro.ckpt/3",
+    CHECKPOINT_FORMAT,
+)
 
 _CKPT_NAME = re.compile(r"^ckpt-(\d+)\.npz$")
 
@@ -112,6 +126,30 @@ class ServiceCheckpoint:
         The front end's absolute stream clock (whole windows / frames
         emitted). ``-1`` marks "no front-end state recorded" — the
         sentinel legacy archives load with.
+    retro_matches:
+        The retrospective (backfill) match stream collected before the
+        snapshot, kept separate from the live stream so neither resume
+        path can interleave them.
+    archive_next:
+        The sketch archive's watermark: the next basic-window index it
+        expects. ``-1`` marks "no archive state recorded" (archiving
+        off, or a pre-``/4`` snapshot).
+    archive_ring_indices / archive_ring_starts / archive_ring_frames /
+    archive_ring_sketches:
+        The archive's unsealed in-memory tail (windows not yet in a
+        disk segment) — without them a crash would lose the ring.
+    archive_tap_pending / archive_tap_flushed / archive_tap_frames:
+        Legacy self-sketching mode only: the service-side archive tap's
+        buffered cell ids, flush flag and frame clock (in sketch-once
+        mode the front end *is* the tap and ``frontend_*`` covers it).
+    backfill_jobs:
+        In-flight/queued backfill jobs as ``(qid, start, live_start,
+        end, emitted_through, cap_hint, retro_found)`` tuples. A resumed service
+        re-probes each job from ``start`` (deterministic) but
+        suppresses emission below ``emitted_through``, so no retro
+        match is lost or doubled; ``live_start`` restores the job's
+        subscription barrier (retro/live partition and the live-phantom
+        suppression bound).
     """
 
     config: DetectorConfig
@@ -127,6 +165,18 @@ class ServiceCheckpoint:
     frontend_flushed: bool = False
     frontend_windows: int = -1
     frontend_frames: int = -1
+    retro_matches: List[Match] = field(default_factory=list)
+    archive_next: int = -1
+    archive_ring_indices: Optional[np.ndarray] = None
+    archive_ring_starts: Optional[np.ndarray] = None
+    archive_ring_frames: Optional[np.ndarray] = None
+    archive_ring_sketches: Optional[np.ndarray] = None
+    archive_tap_pending: Optional[np.ndarray] = None
+    archive_tap_flushed: bool = False
+    archive_tap_frames: int = -1
+    backfill_jobs: List[Tuple[int, int, int, int, int, int, int]] = field(
+        default_factory=list
+    )
 
     @property
     def num_workers(self) -> int:
@@ -137,6 +187,11 @@ class ServiceCheckpoint:
         """Whether the snapshot carries sketch-once front-end state."""
         return self.frontend_frames >= 0
 
+    @property
+    def has_archive(self) -> bool:
+        """Whether the snapshot carries sketch-archive state."""
+        return self.archive_next >= 0
+
     def worker_epochs(self) -> List[int]:
         """Per-shard lifecycle epochs recorded in the worker states."""
         return [
@@ -145,25 +200,35 @@ class ServiceCheckpoint:
         ]
 
 
-def _matches_payload(matches: List[Match]) -> Dict[str, np.ndarray]:
+def _int_array(value: Optional[np.ndarray]) -> np.ndarray:
+    return (
+        np.empty(0, dtype=np.int64)
+        if value is None
+        else np.asarray(value, dtype=np.int64)
+    )
+
+
+def _matches_payload(
+    matches: List[Match], prefix: str = "matches_"
+) -> Dict[str, np.ndarray]:
     return {
-        "matches_qid": np.asarray([m.qid for m in matches], dtype=np.int64),
-        "matches_window": np.asarray(
+        f"{prefix}qid": np.asarray([m.qid for m in matches], dtype=np.int64),
+        f"{prefix}window": np.asarray(
             [m.window_index for m in matches], dtype=np.int64
         ),
-        "matches_start": np.asarray(
+        f"{prefix}start": np.asarray(
             [m.start_frame for m in matches], dtype=np.int64
         ),
-        "matches_end": np.asarray(
+        f"{prefix}end": np.asarray(
             [m.end_frame for m in matches], dtype=np.int64
         ),
-        "matches_similarity": np.asarray(
+        f"{prefix}similarity": np.asarray(
             [m.similarity for m in matches], dtype=np.float64
         ),
     }
 
 
-def _matches_from_mapping(mapping) -> List[Match]:
+def _matches_from_mapping(mapping, prefix: str = "matches_") -> List[Match]:
     return [
         Match(
             qid=int(qid),
@@ -173,11 +238,11 @@ def _matches_from_mapping(mapping) -> List[Match]:
             similarity=float(similarity),
         )
         for qid, window, start, end, similarity in zip(
-            mapping["matches_qid"],
-            mapping["matches_window"],
-            mapping["matches_start"],
-            mapping["matches_end"],
-            mapping["matches_similarity"],
+            mapping[f"{prefix}qid"],
+            mapping[f"{prefix}window"],
+            mapping[f"{prefix}start"],
+            mapping[f"{prefix}end"],
+            mapping[f"{prefix}similarity"],
         )
     ]
 
@@ -189,10 +254,26 @@ class CheckpointManager:
     ----------
     directory:
         Where snapshots live. Created on first save if missing.
+    keep_last:
+        Retention policy: after each managed save, keep only the ``N``
+        newest snapshots (by stream position) and delete the rest —
+        but never the newest *loadable* one: before deleting anything
+        the manager verifies at least one keeper actually loads, so a
+        corrupt newest snapshot cannot orphan the directory. ``None``
+        (the default) keeps everything, the pre-policy behaviour.
     """
 
-    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        keep_last: Optional[int] = None,
+    ) -> None:
+        if keep_last is not None and keep_last < 1:
+            raise ServeError(
+                f"keep_last must be >= 1 when set, got {keep_last}"
+            )
         self.directory = pathlib.Path(directory)
+        self.keep_last = keep_last
 
     # -- paths ---------------------------------------------------------
 
@@ -200,18 +281,57 @@ class CheckpointManager:
         """The canonical file name for a snapshot at a stream position."""
         return self.directory / f"ckpt-{int(chunks_ingested):010d}.npz"
 
-    def latest(self) -> Optional[pathlib.Path]:
-        """The snapshot with the highest stream position, if any."""
+    def snapshots(self) -> List[pathlib.Path]:
+        """Every managed snapshot, oldest stream position first."""
         if not self.directory.is_dir():
-            return None
-        best: Optional[pathlib.Path] = None
-        best_position = -1
+            return []
+        found: List[Tuple[int, pathlib.Path]] = []
         for entry in self.directory.iterdir():
             parsed = _CKPT_NAME.match(entry.name)
-            if parsed and int(parsed.group(1)) > best_position:
-                best_position = int(parsed.group(1))
-                best = entry
-        return best
+            if parsed:
+                found.append((int(parsed.group(1)), entry))
+        return [path for _, path in sorted(found)]
+
+    def latest(self) -> Optional[pathlib.Path]:
+        """The snapshot with the highest stream position, if any."""
+        snapshots = self.snapshots()
+        return snapshots[-1] if snapshots else None
+
+    # -- retention -----------------------------------------------------
+
+    def prune(self) -> List[pathlib.Path]:
+        """Apply the ``keep_last`` policy; returns the paths deleted.
+
+        The newest loadable snapshot always survives: deletion only
+        proceeds once at least one of the keepers (checked newest
+        first) loads cleanly. If every keeper is corrupt, nothing is
+        deleted — the older snapshots are then the only recoverable
+        state and the next :meth:`load` walk can still reach them.
+        """
+        if self.keep_last is None:
+            return []
+        snapshots = self.snapshots()
+        victims = snapshots[: -self.keep_last]
+        if not victims:
+            return []
+        keepers = snapshots[-self.keep_last:]
+        if not any(self._loadable(path) for path in reversed(keepers)):
+            return []
+        deleted: List[pathlib.Path] = []
+        for path in victims:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            deleted.append(path)
+        return deleted
+
+    def _loadable(self, path: pathlib.Path) -> bool:
+        try:
+            self.load(path)
+        except (PersistenceError, ServeError):
+            return False
+        return True
 
     # -- save ----------------------------------------------------------
 
@@ -220,7 +340,12 @@ class CheckpointManager:
         checkpoint: ServiceCheckpoint,
         path: Union[str, pathlib.Path, None] = None,
     ) -> pathlib.Path:
-        """Atomically write ``checkpoint``; returns the final path."""
+        """Atomically write ``checkpoint``; returns the final path.
+
+        Managed saves (``path`` omitted) also apply the ``keep_last``
+        retention policy after the new snapshot lands.
+        """
+        managed = path is None
         if path is None:
             self.directory.mkdir(parents=True, exist_ok=True)
             path = self.path_for(checkpoint.chunks_ingested)
@@ -247,8 +372,38 @@ class CheckpointManager:
             ),
             "frontend_windows": np.asarray([checkpoint.frontend_windows]),
             "frontend_frames": np.asarray([checkpoint.frontend_frames]),
+            "archive_next": np.asarray([checkpoint.archive_next]),
+            "archive_ring_indices": _int_array(
+                checkpoint.archive_ring_indices
+            ),
+            "archive_ring_starts": _int_array(
+                checkpoint.archive_ring_starts
+            ),
+            "archive_ring_frames": _int_array(
+                checkpoint.archive_ring_frames
+            ),
+            "archive_ring_sketches": (
+                np.empty((0, 0), dtype=np.int64)
+                if checkpoint.archive_ring_sketches is None
+                else np.asarray(
+                    checkpoint.archive_ring_sketches, dtype=np.int64
+                )
+            ),
+            "archive_tap_pending": _int_array(
+                checkpoint.archive_tap_pending
+            ),
+            "archive_tap_flushed": np.asarray(
+                [int(checkpoint.archive_tap_flushed)]
+            ),
+            "archive_tap_frames": np.asarray(
+                [checkpoint.archive_tap_frames]
+            ),
+            "backfill_jobs": np.asarray(
+                checkpoint.backfill_jobs, dtype=np.int64
+            ).reshape(len(checkpoint.backfill_jobs), 7),
             **detector_config_payload(checkpoint.config),
             **_matches_payload(checkpoint.matches),
+            **_matches_payload(checkpoint.retro_matches, prefix="retro_"),
         }
         if len(checkpoint.worker_queries) != checkpoint.num_workers:
             raise ServeError(
@@ -262,15 +417,9 @@ class CheckpointManager:
             payload.update(query_set_payload(queries, prefix=f"w{index}_qs_"))
             for key, value in state.items():
                 payload[f"w{index}_{key}"] = value
-        tmp = path.with_name(path.name + ".tmp")
-        with open(tmp, "wb") as handle:
-            # NOTE: no allow_pickle kwarg — np.savez_compressed treats
-            # every keyword as an array to store, so passing it used to
-            # embed a spurious "allow_pickle" member in each archive
-            # (object arrays are pickled by default on save anyway; it
-            # is the *load* side that must opt in).
-            np.savez_compressed(handle, **payload)
-        os.replace(tmp, path)
+        atomic_savez(path, payload)
+        if managed:
+            self.prune()
         return path
 
     # -- load ----------------------------------------------------------
@@ -352,6 +501,37 @@ class CheckpointManager:
             frontend_frames = (
                 int(archive["frontend_frames"][0]) if has_frontend else -1
             )
+            has_archive_state = "archive_next" in member_names
+            archive_next = (
+                int(archive["archive_next"][0]) if has_archive_state else -1
+            )
+            if has_archive_state and archive_next >= 0:
+                ring_indices = np.asarray(
+                    archive["archive_ring_indices"], dtype=np.int64
+                )
+                ring_starts = np.asarray(
+                    archive["archive_ring_starts"], dtype=np.int64
+                )
+                ring_frames = np.asarray(
+                    archive["archive_ring_frames"], dtype=np.int64
+                )
+                ring_sketches = np.asarray(
+                    archive["archive_ring_sketches"], dtype=np.int64
+                )
+            else:
+                ring_indices = ring_starts = ring_frames = None
+                ring_sketches = None
+            tap_frames = (
+                int(archive["archive_tap_frames"][0])
+                if has_archive_state
+                else -1
+            )
+            backfill_jobs: List[Tuple[int, int, int, int, int, int, int]] = []
+            if "backfill_jobs" in member_names:
+                for row in np.asarray(
+                    archive["backfill_jobs"], dtype=np.int64
+                ).reshape(-1, 7):
+                    backfill_jobs.append(tuple(int(v) for v in row))
             checkpoint = ServiceCheckpoint(
                 config=config,
                 keyframes_per_second=float(
@@ -382,6 +562,30 @@ class CheckpointManager:
                     else -1
                 ),
                 frontend_frames=frontend_frames,
+                retro_matches=(
+                    _matches_from_mapping(archive, prefix="retro_")
+                    if "retro_qid" in member_names
+                    else []
+                ),
+                archive_next=archive_next,
+                archive_ring_indices=ring_indices,
+                archive_ring_starts=ring_starts,
+                archive_ring_frames=ring_frames,
+                archive_ring_sketches=ring_sketches,
+                archive_tap_pending=(
+                    np.asarray(
+                        archive["archive_tap_pending"], dtype=np.int64
+                    )
+                    if has_archive_state and tap_frames >= 0
+                    else None
+                ),
+                archive_tap_flushed=(
+                    bool(int(archive["archive_tap_flushed"][0]))
+                    if has_archive_state
+                    else False
+                ),
+                archive_tap_frames=tap_frames,
+                backfill_jobs=backfill_jobs,
             )
         except PersistenceError:
             raise

@@ -24,6 +24,7 @@ them after canonical sorting (see ``docs/serving.md``).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Sequence, Tuple
 
 from repro.config import CombinationOrder
@@ -56,12 +57,23 @@ class MatchCollector:
     with every shard's batch for that span of the stream; batches from
     different chunks must not be interleaved — chunk boundaries are the
     merge barriers that keep the global stream ordered.
+
+    **Retro stream.** Backfill (``repro.archive``) appends its matches
+    through :meth:`add_retro` into a *separate* list: the live list
+    stays exactly what an archiveless service would have collected, and
+    the two never interleave (retro windows end where the query's live
+    windows begin — the subscription epoch boundary). ``add_retro`` may
+    be called from the backfill thread, so the retro list is guarded by
+    a lock; :meth:`combined` merges both streams into global canonical
+    order for reporting.
     """
 
     def __init__(self, order: CombinationOrder) -> None:
         self.order = order
         self._key = canonical_sort_key(order)
         self.matches: List[Match] = []
+        self.retro: List[Match] = []
+        self._retro_lock = threading.Lock()
 
     def merge(self, batches: Sequence[List[Match]]) -> List[Match]:
         """Merge one chunk's per-shard batches; return them in order."""
@@ -71,9 +83,30 @@ class MatchCollector:
         self.matches.extend(merged)
         return merged
 
+    def add_retro(self, matches: Sequence[Match]) -> None:
+        """Append backfill matches (already canonically ordered within
+        and across calls per query — jobs probe windows ascending)."""
+        with self._retro_lock:
+            self.retro.extend(matches)
+
+    def retro_snapshot(self) -> List[Match]:
+        """A consistent copy of the retro stream."""
+        with self._retro_lock:
+            return list(self.retro)
+
+    def combined(self) -> List[Match]:
+        """Live + retro in one globally canonical stream."""
+        with self._retro_lock:
+            return sorted(self.matches + self.retro, key=self._key)
+
     def restore(self, matches: Sequence[Match]) -> None:
         """Reinstate a previously collected stream (checkpoint resume)."""
         self.matches = list(matches)
+
+    def restore_retro(self, matches: Sequence[Match]) -> None:
+        """Reinstate the retro stream (checkpoint resume)."""
+        with self._retro_lock:
+            self.retro = list(matches)
 
     def __len__(self) -> int:
         return len(self.matches)

@@ -42,6 +42,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.archive import BackfillEngine, SketchArchive
 from repro.config import DetectorConfig
 from repro.core.query import Query, QuerySet
 from repro.core.results import Match
@@ -92,6 +93,13 @@ class QueryInfo:
     cap_windows: int
     num_frames: int
     label: str
+    #: Backfill progress (``repro.archive``): windows requested for
+    #: retrospective probing, windows already probed, retro matches
+    #: found. All zero for queries subscribed without backfill (or on
+    #: an archiveless service).
+    backfill_total: int = 0
+    backfill_done: int = 0
+    retro_matches: int = 0
 
 
 class _SerialExecutor:
@@ -237,6 +245,23 @@ class DetectionService:
     batch_chunks:
         Sketch-once mode: how many consecutive chunks share one
         ``WindowBatch`` (one sketch pass, one queue hop per worker).
+    archive:
+        Optional :class:`~repro.archive.SketchArchive`. When given,
+        every basic window's sketch is retained as it streams (the
+        sketch-once front end is tapped directly; in self-sketching
+        mode a dedicated quiet front end cuts and sketches windows for
+        the archive alone), and :meth:`subscribe` accepts
+        ``backfill=N`` to retrospectively probe the last N archived
+        windows for the new query. Build the archive with the service's
+        registry so the ``archive.*`` series lands in
+        :meth:`metrics_snapshot`. The archive's hash family must match
+        the query set's.
+    backfill_async:
+        When True (default) backfill jobs run on a daemon thread and
+        never stall the live pipeline; when False they sit queued until
+        :meth:`pump_backfill` / :meth:`drain_backfill` — the
+        deterministic mode the CLI's serial driver and the kill/resume
+        tests use.
     """
 
     def __init__(
@@ -254,6 +279,8 @@ class DetectionService:
         timing_enabled: bool = True,
         sketch_once: bool = True,
         batch_chunks: int = 4,
+        archive: Optional[SketchArchive] = None,
+        backfill_async: bool = True,
         _checkpoint: Optional[ServiceCheckpoint] = None,
     ) -> None:
         if backend not in BACKENDS:
@@ -341,6 +368,40 @@ class DetectionService:
                     _checkpoint.frontend_pending, dtype=np.int64
                 )
 
+        self._archive = archive
+        self._tap: Optional[StreamFrontend] = None
+        self._backfill: Optional[BackfillEngine] = None
+        if archive is not None:
+            if archive.family_fingerprint != self._family.fingerprint:
+                raise ServeError(
+                    "the archive was recorded under a different hash "
+                    f"family ({archive.family_fingerprint}) than this "
+                    f"service's query set ({self._family.fingerprint})"
+                )
+            if self._frontend is None:
+                # Self-sketching mode has no service-side front end to
+                # tap; a dedicated quiet one cuts and sketches windows
+                # for the archive alone (set_queries is never called,
+                # so it computes no planes and its counters stay out of
+                # the service registry).
+                self._tap = StreamFrontend(
+                    config=config,
+                    family=self._family,
+                    window_frames=self.window_frames,
+                    registry=MetricsRegistry(timing_enabled=False),
+                )
+            self._backfill = BackfillEngine(
+                config,
+                self._family,
+                self.keyframes_per_second,
+                archive,
+                emit=self.collector.add_retro,
+                registry=self.registry,
+                async_mode=backfill_async,
+            )
+            if _checkpoint is not None:
+                self._restore_archive(_checkpoint, states)
+
         worker_epochs = (
             [self.epoch] * len(shard_queries)
             if _checkpoint is None
@@ -419,6 +480,96 @@ class DetectionService:
             other["pending"] = np.empty(0, dtype=np.int64)
         return migrated
 
+    def _restore_archive(
+        self,
+        checkpoint: ServiceCheckpoint,
+        states: List[Optional[Dict[str, np.ndarray]]],
+    ) -> None:
+        """Reinstate archive ring/watermark, tap clock, retro matches
+        and unfinished backfill jobs from a ``repro.ckpt/4`` snapshot.
+
+        Older snapshots (or snapshots taken without an archive) carry
+        no archive state; the watermark is then fast-forwarded to the
+        stream clock — the windows already streamed were simply never
+        archived, not lost.
+        """
+        archive = self._archive
+        if checkpoint.has_archive:
+            archive.restore(
+                checkpoint.archive_next,
+                checkpoint.archive_ring_indices,
+                checkpoint.archive_ring_starts,
+                checkpoint.archive_ring_frames,
+                checkpoint.archive_ring_sketches,
+            )
+        self.collector.restore_retro(checkpoint.retro_matches)
+        if self._tap is not None:
+            if checkpoint.archive_tap_frames >= 0:
+                frames = int(checkpoint.archive_tap_frames)
+                flushed = bool(checkpoint.archive_tap_flushed)
+                # windows_emitted is implied: full windows plus, once
+                # flushed, the partial tail window if one existed.
+                windows = (
+                    -(-frames // self.window_frames)
+                    if flushed
+                    else frames // self.window_frames
+                )
+                self._tap.restore(
+                    np.asarray(
+                        checkpoint.archive_tap_pending, dtype=np.int64
+                    ),
+                    flushed,
+                    windows,
+                    frames,
+                )
+            elif checkpoint.has_frontend:
+                self._tap.restore(
+                    checkpoint.frontend_pending,
+                    checkpoint.frontend_flushed,
+                    checkpoint.frontend_windows,
+                    checkpoint.frontend_frames,
+                )
+            else:
+                state = states[0]
+                counters = dict(
+                    zip(
+                        (str(n) for n in state["reg_counter_names"]),
+                        (int(v) for v in state["reg_counter_values"]),
+                    )
+                )
+                self._tap.restore(
+                    pending=np.asarray(state["pending"], dtype=np.int64),
+                    flushed=bool(int(state["flushed"][0])),
+                    windows_emitted=counters.get(
+                        "engine.windows_processed", 0
+                    ),
+                    frames_emitted=counters.get(
+                        "stream.frames_processed", 0
+                    ),
+                )
+        if not checkpoint.has_archive:
+            # Archiving newly enabled on resume: the stream clock is
+            # ahead of the (empty) archive and those windows are gone,
+            # not gaps.
+            archive.fast_forward(self._stream_windows())
+        dropped = 0
+        for row in checkpoint.backfill_jobs:
+            job = self._backfill.restore_job(
+                tuple(int(v) for v in row), self._queries
+            )
+            if job is None:
+                dropped += 1
+        if dropped:
+            self.registry.inc("archive.backfill_jobs_dropped", dropped)
+
+    def _stream_windows(self) -> int:
+        """The live stream clock: basic windows emitted so far."""
+        if self._frontend is not None:
+            return self._frontend.windows_emitted
+        if self._tap is not None:
+            return self._tap.windows_emitted
+        return 0
+
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
@@ -436,6 +587,8 @@ class DetectionService:
         timing_enabled: bool = True,
         sketch_once: bool = True,
         batch_chunks: int = 4,
+        archive: Optional[SketchArchive] = None,
+        backfill_async: bool = True,
     ) -> "DetectionService":
         """Rebuild a service from a checkpoint and continue mid-stream.
 
@@ -474,6 +627,8 @@ class DetectionService:
             timing_enabled=timing_enabled,
             sketch_once=sketch_once,
             batch_chunks=batch_chunks,
+            archive=archive,
+            backfill_async=backfill_async,
             _checkpoint=checkpoint,
         )
 
@@ -606,6 +761,11 @@ class DetectionService:
             set() for _ in range(self.num_workers)
         ]
         for seq, chunk in enumerate(chunk_arrays):
+            if self._tap is not None:
+                # Archive tap: sketch this chunk's completed windows
+                # once, service side, independent of the workers'
+                # self-sketching copies.
+                self._archive_batch(self._tap.build([chunk], seq))
             message = ("chunk", seq, chunk)
             for worker_id in range(self.num_workers):
                 outcome = self._executor.send(
@@ -681,6 +841,8 @@ class DetectionService:
         for base in range(0, len(chunk_arrays), self.batch_chunks):
             group = chunk_arrays[base : base + self.batch_chunks]
             batch = self._frontend.build(group, base)
+            if self._archive is not None:
+                self._archive_batch(batch)
             registry.inc("serve.transport.batches")
             registry.inc("serve.transport.chunks", len(group))
             registry.inc("serve.transport.windows", batch.num_windows)
@@ -730,12 +892,28 @@ class DetectionService:
             merged.extend(
                 self.collector.merge(
                     [
-                        results[w].get(seq, [])
+                        self._drop_phantoms(results[w].get(seq, []))
                         for w in range(self.num_workers)
                     ]
                 )
             )
         return merged
+
+    def _drop_phantoms(self, matches: List[Match]) -> List[Match]:
+        """Suppress a backfilled query's live matches whose candidate
+        started before its subscription barrier: the live engine
+        evaluated those candidates with empty pre-barrier signatures,
+        and the backfill replay emits the true versions as retro
+        matches."""
+        if self._backfill is None or not matches:
+            return matches
+        bounds = self._backfill.suppress_bounds()
+        if not bounds:
+            return matches
+        return [
+            match for match in matches
+            if match.start_frame >= bounds.get(match.qid, 0)
+        ]
 
     def flush(self) -> List[Match]:
         """Process the final partial window in every shard; merge it."""
@@ -745,8 +923,12 @@ class DetectionService:
         if self._frontend is not None:
             # The tail is sketched (and plane-encoded) once, service
             # side; it is small, so it travels inline on any backend.
-            message: Tuple = ("flush", self._frontend.flush_tail())
+            tail = self._frontend.flush_tail()
+            self._archive_tail(tail)
+            message: Tuple = ("flush", tail)
         else:
+            if self._tap is not None:
+                self._archive_tail(self._tap.flush_tail())
             message = ("flush",)
         for worker_id in range(self.num_workers):
             self._executor.send(
@@ -756,12 +938,54 @@ class DetectionService:
         for worker_id in range(self.num_workers):
             batches.append(self._expect(worker_id, "flushed")[2])
         self._flushed = True
-        return self.collector.merge(batches)
+        if self._backfill is not None:
+            # The stream is over: shadow windows a backfill job was
+            # still waiting for will never arrive — close its horizon
+            # so a following drain terminates.
+            self._backfill.finalize()
+        return self.collector.merge(
+            [self._drop_phantoms(batch) for batch in batches]
+        )
+
+    def _archive_batch(self, batch) -> None:
+        """Retain one ``WindowBatch``'s windows in the sketch archive."""
+        if batch.num_windows:
+            self._archive.append(
+                batch.indices,
+                batch.starts,
+                batch.frames,
+                batch.sketch_values,
+            )
+
+    def _archive_tail(self, tail) -> None:
+        """Retain the flush tail and seal the archive's open run (the
+        stream is over; nothing further will extend it)."""
+        if self._archive is None:
+            return
+        if tail is not None:
+            self._archive.append(
+                np.asarray([tail.index], dtype=np.int64),
+                np.asarray([tail.start_frame], dtype=np.int64),
+                np.asarray([tail.num_frames], dtype=np.int64),
+                np.asarray(tail.sketch_values, dtype=np.int64)[
+                    np.newaxis, :
+                ],
+            )
+        self._archive.seal_open_run()
 
     @property
     def matches(self) -> List[Match]:
         """The full merged match stream collected so far."""
         return self.collector.matches
+
+    @property
+    def retro_matches(self) -> List[Match]:
+        """Backfill's retrospective matches (empty without an archive)."""
+        return self.collector.retro_snapshot()
+
+    def all_matches(self) -> List[Match]:
+        """Live + retro matches in one canonically ordered stream."""
+        return self.collector.combined()
 
     @property
     def family(self):
@@ -799,6 +1023,7 @@ class DetectionService:
     def list_queries(self) -> List[QueryInfo]:
         """Every subscribed query with its placement, in qid order."""
         self._require_open()
+        progress = self.backfill_progress()
         return sorted(
             (
                 QueryInfo(
@@ -807,6 +1032,9 @@ class DetectionService:
                     cap_windows=self._caps[qid],
                     num_frames=self._queries[qid].num_frames,
                     label=self._queries[qid].label,
+                    backfill_total=progress.get(qid, (0, 0, 0))[0],
+                    backfill_done=progress.get(qid, (0, 0, 0))[1],
+                    retro_matches=progress.get(qid, (0, 0, 0))[2],
                 )
                 for worker_id, qids in enumerate(self._shard_qids)
                 for qid in qids
@@ -814,7 +1042,7 @@ class DetectionService:
             key=lambda info: info.qid,
         )
 
-    def subscribe(self, query: Query) -> int:
+    def subscribe(self, query: Query, backfill: int = 0) -> int:
         """Add a query mid-stream; returns the shard that received it.
 
         Placement goes through the :class:`ShardPlanner`'s online rule
@@ -825,8 +1053,21 @@ class DetectionService:
         any further chunk is ingested, so candidate expiry stays
         globally consistent (the equivalence invariant) and the merged
         match stream stays deterministic.
+
+        ``backfill=N`` additionally queues a retrospective probe of the
+        last N archived windows (clamped to what the archive retains)
+        through the :class:`~repro.archive.BackfillEngine`; its matches
+        arrive tagged ``retro`` in :attr:`retro_matches`. Requires the
+        service to have been built with an archive.
         """
         self._require_open()
+        if backfill < 0:
+            raise ServeError(f"backfill must be >= 0, got {backfill}")
+        if backfill and self._backfill is None:
+            raise ServeError(
+                f"query {query.qid} requested backfill={backfill} but "
+                "the service has no sketch archive"
+            )
         if query.qid in self._queries:
             raise ServeError(f"query {query.qid} is already subscribed")
         if query.sketch.family != self._family.fingerprint:
@@ -847,6 +1088,14 @@ class DetectionService:
         self._caps[query.qid] = cap
         if self._frontend is not None:
             self._frontend.set_queries(self._queries)
+        if backfill and self._backfill is not None:
+            # live_start: every window below the stream clock was
+            # processed live *without* this query (the lifecycle
+            # barrier above ordered the subscribe after them), every
+            # later one *with* it — retro and live partition cleanly.
+            self._backfill.request(
+                query, backfill, self._stream_windows(), self.cap_hint
+            )
         self.registry.inc("serve.queries.subscribed")
         self._update_query_gauges()
         return target
@@ -876,8 +1125,33 @@ class DetectionService:
         del self._caps[qid]
         if self._frontend is not None:
             self._frontend.set_queries(self._queries)
+        if self._backfill is not None:
+            self._backfill.cancel(qid)
         self.registry.inc("serve.queries.unsubscribed")
         self._update_query_gauges()
+
+    # ------------------------------------------------------------------
+    # backfill control
+    # ------------------------------------------------------------------
+
+    def backfill_progress(self) -> Dict[int, Tuple[int, int, int]]:
+        """qid → ``(total, done, retro_found)`` backfill windows."""
+        if self._backfill is None:
+            return {}
+        return self._backfill.progress()
+
+    def pump_backfill(self, max_windows: Optional[int] = None) -> int:
+        """Synchronously probe up to ``max_windows`` archived windows
+        (``backfill_async=False`` mode); returns windows probed."""
+        if self._backfill is None:
+            return 0
+        return self._backfill.pump(max_windows)
+
+    def drain_backfill(self, timeout: Optional[float] = None) -> bool:
+        """Finish every queued backfill job; returns True when drained."""
+        if self._backfill is None:
+            return True
+        return self._backfill.drain(timeout)
 
     def _lifecycle(
         self, ops_by_worker: Dict[int, Tuple], cap_hint: int
@@ -953,6 +1227,29 @@ class DetectionService:
                 else ("batch_inline" if self.sketch_once else "chunk")
             ),
         }
+        if self._archive is not None:
+            lo, hi = self._archive.available()
+            merged["archive"] = {
+                "windows_retained": self._archive.windows_retained(),
+                "ring_windows": self._archive.ring_windows,
+                "bytes_on_disk": self._archive.bytes_on_disk(),
+                "available_lo": lo,
+                "next_index": hi,
+                "segments": (
+                    len(self._archive.store.segments)
+                    if self._archive.store is not None
+                    else 0
+                ),
+                "backfill": {
+                    qid: {
+                        "total": total,
+                        "done": done,
+                        "retro_matches": found,
+                    }
+                    for qid, (total, done, found)
+                    in self.backfill_progress().items()
+                },
+            }
         return merged
 
     # ------------------------------------------------------------------
@@ -1000,6 +1297,37 @@ class DetectionService:
             }
         else:
             frontend_fields = {}
+        archive_fields: Dict[str, object] = {}
+        if self._archive is not None:
+            # Quiesce backfill for the snapshot: no slice can run while
+            # the engine lock is held, so the persisted emitted_through
+            # watermarks are consistent with the retro matches below.
+            with self._backfill.paused():
+                (
+                    archive_next,
+                    ring_indices,
+                    ring_starts,
+                    ring_frames,
+                    ring_sketches,
+                ) = self._archive.state()
+                archive_fields = {
+                    "archive_next": archive_next,
+                    "archive_ring_indices": ring_indices,
+                    "archive_ring_starts": ring_starts,
+                    "archive_ring_frames": ring_frames,
+                    "archive_ring_sketches": ring_sketches,
+                    "backfill_jobs": self._backfill.checkpoint_rows(),
+                    "retro_matches": self.collector.retro_snapshot(),
+                }
+            if self._tap is not None:
+                tap_pending, tap_flushed, _, tap_frames = (
+                    self._tap.state()
+                )
+                archive_fields.update(
+                    archive_tap_pending=tap_pending,
+                    archive_tap_flushed=tap_flushed,
+                    archive_tap_frames=tap_frames,
+                )
         return manager.save(
             ServiceCheckpoint(
                 config=self.config,
@@ -1012,6 +1340,7 @@ class DetectionService:
                 matches=list(self.collector.matches),
                 epoch=self.epoch,
                 **frontend_fields,
+                **archive_fields,
             )
         )
 
@@ -1024,6 +1353,15 @@ class DetectionService:
         if self._closed:
             return
         self._closed = True
+        if self._backfill is not None:
+            self._backfill.close()
+        if self._archive is not None:
+            # Graceful shutdown: make the unsealed ring durable (a
+            # resumed service reconciles its checkpoint against disk).
+            try:
+                self._archive.seal_open_run()
+            except Exception:
+                pass
         for worker_id in range(self.num_workers):
             try:
                 self._executor.send(

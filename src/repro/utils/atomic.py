@@ -1,0 +1,86 @@
+"""Crash-safe file writes shared by every on-disk format.
+
+Three subsystems persist npz archives whose readers must never observe
+a torn file: service checkpoints (``repro.ckpt/*``), stream recordings
+(``repro.stream/1``) and archive segments (``repro.arch/1``). They all
+follow the same protocol, implemented once here:
+
+1. write the payload to a temporary sibling (same directory, so the
+   final rename cannot cross filesystems),
+2. flush *and* ``fsync`` the temporary file, so the bytes are durable
+   before the name is,
+3. ``os.replace`` the temporary over the final path — atomic on POSIX
+   and Windows — so readers see either the old complete file or the new
+   complete file, never a prefix.
+
+A crash between (2) and (3) leaves a ``*.tmp`` sibling behind; writers
+ignore them and recovery scans (:mod:`repro.archive.store`) delete
+them. The directory entry itself is fsync'd too where the platform
+allows, closing the rename-durability gap on power loss.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Mapping, Union
+
+import numpy as np
+
+__all__ = ["TMP_SUFFIX", "atomic_write_bytes", "atomic_savez"]
+
+#: Suffix of in-flight temporaries. Scanners must skip (or sweep) it.
+TMP_SUFFIX = ".tmp"
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, pathlib.Path], data: bytes
+) -> pathlib.Path:
+    """Durably write ``data`` to ``path`` via fsync + tmp-rename."""
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + TMP_SUFFIX)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+    return path
+
+
+def atomic_savez(
+    path: Union[str, pathlib.Path],
+    payload: Mapping[str, np.ndarray],
+    compressed: bool = True,
+) -> pathlib.Path:
+    """Durably write an npz archive to ``path`` via fsync + tmp-rename.
+
+    NOTE: the payload mapping is expanded as keywords — never include an
+    ``allow_pickle`` key; ``np.savez*`` would store it as an array
+    member (object arrays are pickled by default on save; it is the
+    *load* side that opts in).
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(path.name + TMP_SUFFIX)
+    writer = np.savez_compressed if compressed else np.savez
+    with open(tmp, "wb") as handle:
+        writer(handle, **payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+    return path

@@ -355,7 +355,7 @@ def test_checkpoint_records_epochs(tmp_path):
     assert checkpoint.epoch == 1
     assert checkpoint.worker_epochs() == [1, 1]
     with np.load(path, allow_pickle=True) as archive:
-        assert str(archive["format"][0]) == CHECKPOINT_FORMAT == "repro.ckpt/3"
+        assert str(archive["format"][0]) == CHECKPOINT_FORMAT == "repro.ckpt/4"
 
     resumed = DetectionService.restore(checkpoint)
     assert resumed.epoch == 1

@@ -415,11 +415,18 @@ class TestCheckpointManager:
             "format", "num_workers", "chunks_ingested", "cap_hint",
             "epoch", "keyframes_per_second", "strategy",
             "frontend_pending", "frontend_flushed", "frontend_windows",
-            "frontend_frames",
+            "frontend_frames", "archive_next", "archive_ring_indices",
+            "archive_ring_starts", "archive_ring_frames",
+            "archive_ring_sketches", "archive_tap_pending",
+            "archive_tap_flushed", "archive_tap_frames", "backfill_jobs",
         }
         expected |= set(detector_config_payload(checkpoint.config))
         expected |= {
             f"matches_{name}"
+            for name in ("qid", "window", "start", "end", "similarity")
+        }
+        expected |= {
+            f"retro_{name}"
             for name in ("qid", "window", "start", "end", "similarity")
         }
         expected |= set(
