@@ -214,6 +214,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sleep between chunks to simulate live "
                        "arrival (also makes signal-driven shutdown "
                        "deterministic to test)")
+    serve.add_argument("--supervise", action="store_true",
+                       help="wrap the executor in the shard supervisor: "
+                       "dead/stalled/poisoned workers are respawned and "
+                       "their shard replayed from the last rolling "
+                       "snapshot (thread/process backends only)")
+    serve.add_argument("--chaos", metavar="PLAN", default=None,
+                       help="deterministic fault injection (implies "
+                       "--supervise): either explicit events "
+                       "'kind:worker@seq[:seconds]' comma-separated "
+                       "(kinds: kill, stall, poison) or 'seed:N' to "
+                       "generate one event per worker")
+    serve.add_argument("--shard-snapshot-every", type=int, default=8,
+                       metavar="N",
+                       help="supervisor rolling-snapshot cadence: probe "
+                       "each shard's state every N stream messages "
+                       "(bounds replay-buffer depth; default 8)")
+    serve.add_argument("--recovery-deadline", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="supervisor recv deadline before a worker "
+                       "counts as stalled (default 5.0)")
+    serve.add_argument("--max-restarts", type=int, default=3, metavar="N",
+                       help="restarts per shard before the circuit "
+                       "breaker quarantines it (default 3)")
 
     ingest = subparsers.add_parser(
         "ingest",
@@ -511,12 +534,19 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.persistence import load_query_set
     from repro.serve import (
         BackpressurePolicy,
+        ChaosPlan,
         CheckpointManager,
         DetectionService,
+        SupervisorConfig,
     )
 
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    supervise = args.supervise or args.chaos is not None
+    if supervise and args.backend == "serial":
+        print("--supervise/--chaos require --backend thread or process",
+              file=sys.stderr)
         return 2
     try:
         churn = _churn_schedule(args)
@@ -554,6 +584,35 @@ def _command_serve(args: argparse.Namespace) -> int:
         else None
     )
     policy = BackpressurePolicy(args.policy)
+    chaos_plan = None
+    if args.chaos:
+        # Chaos positions count stream messages per worker: one per
+        # chunk when self-sketching, one per WindowBatch otherwise.
+        per_worker = (
+            len(chunks) if args.self_sketch
+            else max(1, -(-len(chunks) // max(1, args.batch_chunks)))
+        )
+        try:
+            if args.chaos.startswith("seed:"):
+                chaos_plan = ChaosPlan.generate(
+                    int(args.chaos[len("seed:"):]),
+                    args.workers,
+                    horizon=per_worker,
+                )
+            else:
+                chaos_plan = ChaosPlan.parse(args.chaos)
+        except Exception as error:
+            print(f"bad --chaos plan: {error}", file=sys.stderr)
+            return 2
+    supervisor_config = (
+        SupervisorConfig(
+            recv_deadline=args.recovery_deadline,
+            snapshot_every=args.shard_snapshot_every,
+            max_restarts=args.max_restarts,
+        )
+        if supervise
+        else None
+    )
     # The CLI always derives its family deterministically (seed 0), so an
     # archive built here carries the same fingerprint on fresh starts and
     # resumes alike; on resume, recovery reconciles the checkpointed ring
@@ -579,6 +638,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             batch_chunks=args.batch_chunks,
             archive=archive,
             backfill_async=False,
+            supervisor=supervisor_config,
+            chaos=chaos_plan,
         )
         start = service.chunks_ingested
         print(f"resumed from chunk {start} "
@@ -601,6 +662,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             batch_chunks=args.batch_chunks,
             archive=archive,
             backfill_async=False,
+            supervisor=supervisor_config,
+            chaos=chaos_plan,
         )
         start = 0
     print(f"serving {len(chunks)} chunks from chunk {start} across "
@@ -695,6 +758,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         print(f"matches={len(service.matches)}{retro} "
               f"precision={quality.precision:.3f} "
               f"recall={quality.recall:.3f}")
+    if supervise:
+        counters = service.metrics_snapshot()["counters"]
+        summary = " ".join(
+            f"{name}={counters.get(f'serve.supervisor.{name}', 0)}"
+            for name in ("kills", "stalls", "poisoned", "restarts",
+                         "replayed_batches", "quarantines")
+        )
+        print(f"supervisor: {summary}")
+        degraded = service.degraded_shards()
+        if degraded:
+            print(f"degraded shards: {sorted(degraded)} — matches are "
+                  "partial for their queries")
     if args.metrics_out:
         _write_metrics(args.metrics_out, service.metrics_snapshot())
     service.close()

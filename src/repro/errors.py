@@ -116,6 +116,49 @@ class ServeError(ReproError):
     """
 
 
+class WorkerDeadError(ServeError):
+    """A shard worker's process or thread died with requests outstanding.
+
+    Raised by executor ``recv``/``send`` instead of blocking forever on a
+    queue whose producer no longer exists. Carries the worker id and the
+    number of replies acked before death so a supervisor (or operator)
+    knows exactly where the shard stopped.
+    """
+
+    def __init__(
+        self, worker_id: int, last_acked: int, message: str = ""
+    ) -> None:
+        self.worker_id = worker_id
+        self.last_acked = last_acked
+        super().__init__(
+            message
+            or (
+                f"worker {worker_id} died "
+                f"(acked {last_acked} replies before death)"
+            )
+        )
+
+
+class WorkerStallError(ServeError):
+    """A shard worker is alive but failed to reply within its deadline.
+
+    Raised by executor ``recv`` when a bounded wait expires while the
+    worker process/thread still reports as alive — the liveness signal
+    that distinguishes a stalled worker from a dead one.
+    """
+
+    def __init__(
+        self, worker_id: int, last_acked: int, deadline: float
+    ) -> None:
+        self.worker_id = worker_id
+        self.last_acked = last_acked
+        self.deadline = deadline
+        super().__init__(
+            f"worker {worker_id} stalled: no reply within {deadline:.3f}s "
+            f"(acked {last_acked} replies so far)"
+        )
+
+
 class ArchiveError(ReproError):
     """The sketch archive hit an inconsistent state.
 

@@ -437,6 +437,7 @@ class GatewayServer:
                 {"qid": info.qid, "shard": info.shard,
                  "cap_windows": info.cap_windows,
                  "num_frames": info.num_frames, "label": info.label,
+                 "status": info.status,
                  "backfill_total": info.backfill_total,
                  "backfill_done": info.backfill_done,
                  "retro_matches": info.retro_matches}
@@ -494,7 +495,10 @@ class GatewayServer:
         if conn is not None and not conn.closed:
             if error is None:
                 header = {"type": "ended",
-                          "total_matches": len(self.service.collector)}
+                          "total_matches": len(self.service.collector),
+                          "partial": bool(
+                              getattr(self.service, "partial", False)
+                          )}
             else:
                 header = {"type": "error", "code": "end", "message": error}
             self._post_safe(conn, header)

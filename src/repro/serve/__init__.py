@@ -20,6 +20,8 @@ match loss. ``repro serve`` exposes the whole stack on the command
 line. See ``docs/serving.md`` for the architecture.
 """
 
+from repro.errors import WorkerDeadError, WorkerStallError
+from repro.serve.chaos import ChaosEvent, ChaosPlan
 from repro.serve.checkpoint import (
     CHECKPOINT_FORMAT,
     COMPATIBLE_FORMATS,
@@ -44,6 +46,7 @@ from repro.serve.shm import (
     shm_available,
 )
 from repro.serve.state import restore_worker_state, worker_state
+from repro.serve.supervisor import ShardSupervisor, SupervisorConfig
 from repro.serve.workers import ShardWorker, WorkerSpec
 
 __all__ = [
@@ -53,6 +56,8 @@ __all__ = [
     "BoundedChannel",
     "CHECKPOINT_FORMAT",
     "COMPATIBLE_FORMATS",
+    "ChaosEvent",
+    "ChaosPlan",
     "CheckpointManager",
     "DetectionService",
     "MatchCollector",
@@ -61,13 +66,17 @@ __all__ = [
     "ServiceCheckpoint",
     "ShardPlan",
     "ShardPlanner",
+    "ShardSupervisor",
     "ShardWorker",
     "ShmBatchReader",
     "ShmBatchRing",
     "StreamFrontend",
+    "SupervisorConfig",
     "TailWindow",
     "WindowBatch",
+    "WorkerDeadError",
     "WorkerSpec",
+    "WorkerStallError",
     "canonical_sort_key",
     "put_with_policy",
     "queue_depth",

@@ -36,6 +36,7 @@ from __future__ import annotations
 import pathlib
 import queue as queue_module
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -46,10 +47,11 @@ from repro.archive import BackfillEngine, SketchArchive
 from repro.config import DetectorConfig
 from repro.core.query import Query, QuerySet
 from repro.core.results import Match
-from repro.errors import ServeError
+from repro.errors import ServeError, WorkerDeadError, WorkerStallError
 from repro.obs.export import snapshot
 from repro.obs.merge import merge_snapshots
 from repro.obs.registry import MetricsRegistry
+from repro.serve.chaos import ChaosPlan
 from repro.serve.checkpoint import CheckpointManager, ServiceCheckpoint
 from repro.serve.collector import MatchCollector
 from repro.serve.frontend import StreamFrontend
@@ -62,6 +64,7 @@ from repro.serve.queues import (
     queue_depth,
 )
 from repro.serve.shm import ShmBatchRing, shm_available
+from repro.serve.supervisor import ShardSupervisor, SupervisorConfig
 from repro.serve.workers import ShardWorker, WorkerSpec, _worker_loop
 
 __all__ = ["BACKENDS", "DetectionService", "QueryInfo"]
@@ -100,6 +103,25 @@ class QueryInfo:
     backfill_total: int = 0
     backfill_done: int = 0
     retro_matches: int = 0
+    #: ``"active"`` normally; ``"degraded"`` when the query's shard has
+    #: been quarantined by the supervisor (flagged, never dropped).
+    status: str = "active"
+
+
+#: Poll interval for liveness-aware receives. Executor ``recv`` never
+#: parks forever on a queue: it wakes at this cadence to check whether
+#: the producing worker still exists (satellite fix for the historical
+#: "recv blocks forever on a dead child" deadlock).
+_RECV_POLL_SECONDS = 0.05
+
+#: After a worker is first seen dead, one final longer poll lets any
+#: reply already in flight through the queue/pipe arrive before recv
+#: gives up and raises.
+_DEAD_GRACE_SECONDS = 0.2
+
+#: Per-worker bound on shutdown waits — close() must terminate even
+#: when a worker is alive but wedged.
+_CLOSE_TIMEOUT_SECONDS = 10.0
 
 
 class _SerialExecutor:
@@ -116,8 +138,15 @@ class _SerialExecutor:
         self._replies[worker_id].append(reply)
         return PutOutcome(delivered=True)
 
-    def recv(self, worker_id: int) -> Tuple:
+    def recv(self, worker_id: int, timeout: Optional[float] = None) -> Tuple:
         return self._replies[worker_id].pop(0)
+
+    def try_recv(self, worker_id: int) -> Optional[Tuple]:
+        replies = self._replies[worker_id]
+        return replies.pop(0) if replies else None
+
+    def is_alive(self, worker_id: int) -> bool:
+        return True
 
     def depth(self, worker_id: int) -> Optional[int]:
         return 0
@@ -126,33 +155,127 @@ class _SerialExecutor:
         pass
 
 
-class _ThreadExecutor:
+class _LiveRecvMixin:
+    """Liveness-aware ``recv`` shared by the thread/process backends.
+
+    Subclasses provide ``outboxes`` (queues with ``get(timeout=...)``
+    raising ``queue.Empty``), ``is_alive(worker_id)`` and an ``acked``
+    list counting replies already returned per worker.
+    """
+
+    def _filter_reply(self, worker_id: int, reply: Tuple) -> bool:
+        """Whether ``reply`` belongs to the protocol stream. Backends
+        whose ``kill`` is cooperative (threads) drop the resulting
+        ``stopped`` acknowledgement here — the caller never asked."""
+        return True
+
+    def recv(self, worker_id: int, timeout: Optional[float] = None) -> Tuple:
+        outbox = self.outboxes[worker_id]
+        deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+        while True:
+            try:
+                reply = outbox.get(timeout=_RECV_POLL_SECONDS)
+            except queue_module.Empty:
+                reply = None
+            if reply is not None:
+                if not self._filter_reply(worker_id, reply):
+                    continue
+                self.acked[worker_id] += 1
+                return reply
+            if not self.is_alive(worker_id):
+                # One grace poll: a reply written just before death may
+                # still be crossing the queue (mp feeder pipe).
+                try:
+                    reply = outbox.get(timeout=_DEAD_GRACE_SECONDS)
+                except queue_module.Empty:
+                    raise WorkerDeadError(
+                        worker_id, self.acked[worker_id]
+                    ) from None
+                if not self._filter_reply(worker_id, reply):
+                    continue
+                self.acked[worker_id] += 1
+                return reply
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise WorkerStallError(
+                    worker_id, self.acked[worker_id], timeout
+                )
+
+    def try_recv(self, worker_id: int) -> Optional[Tuple]:
+        try:
+            reply = self.outboxes[worker_id].get_nowait()
+        except queue_module.Empty:
+            return None
+        if not self._filter_reply(worker_id, reply):
+            return None
+        self.acked[worker_id] += 1
+        return reply
+
+
+class _ThreadExecutor(_LiveRecvMixin):
     """One thread per worker over policy-aware bounded channels."""
 
     def __init__(self, specs: List[WorkerSpec], capacity: int) -> None:
-        self.inboxes = [BoundedChannel(capacity) for _ in specs]
-        self.outboxes: List[queue_module.Queue] = [
-            queue_module.Queue() for _ in specs
-        ]
-        self.threads = [
-            threading.Thread(
-                target=_worker_loop,
-                args=(spec, inbox, outbox),
-                name=f"repro-serve-w{spec.worker_id}",
-                daemon=True,
-            )
-            for spec, inbox, outbox in zip(specs, self.inboxes, self.outboxes)
-        ]
-        for thread in self.threads:
-            thread.start()
+        self.capacity = capacity
+        count = len(specs)
+        self.inboxes: List[BoundedChannel] = [None] * count
+        self.outboxes: List[queue_module.Queue] = [None] * count
+        self.threads: List[threading.Thread] = [None] * count
+        self.acked = [0] * count
+        self._killed = [False] * count
+        for spec in specs:
+            self._spawn(spec)
+
+    def _spawn(self, spec: WorkerSpec) -> None:
+        worker_id = spec.worker_id
+        inbox = BoundedChannel(self.capacity)
+        outbox: queue_module.Queue = queue_module.Queue()
+        thread = threading.Thread(
+            target=_worker_loop,
+            args=(spec, inbox, outbox),
+            name=f"repro-serve-w{worker_id}",
+            daemon=True,
+        )
+        self.inboxes[worker_id] = inbox
+        self.outboxes[worker_id] = outbox
+        self.threads[worker_id] = thread
+        self._killed[worker_id] = False
+        thread.start()
+
+    def _filter_reply(self, worker_id: int, reply: Tuple) -> bool:
+        # The cooperative kill below makes the dying thread emit a
+        # ``stopped`` ack nobody in the protocol stream asked for.
+        return not (
+            self._killed[worker_id]
+            and isinstance(reply, tuple)
+            and reply
+            and reply[0] == "stopped"
+        )
 
     def send(
         self, worker_id: int, message: Tuple, policy: BackpressurePolicy
     ) -> PutOutcome:
         return self.inboxes[worker_id].put(message, policy)
 
-    def recv(self, worker_id: int) -> Tuple:
-        return self.outboxes[worker_id].get()
+    def is_alive(self, worker_id: int) -> bool:
+        return self.threads[worker_id].is_alive()
+
+    def kill(self, worker_id: int) -> None:
+        """Abandon a worker thread (threads cannot be terminated).
+
+        A best-effort ``stop`` is left in its old inbox so a stalled
+        thread that eventually wakes drains out instead of spinning on
+        an orphaned channel; its queues are replaced on respawn.
+        """
+        self._killed[worker_id] = True
+        try:
+            self.inboxes[worker_id].put(("stop",), BackpressurePolicy.SHED)
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+    def respawn(self, worker_id: int, spec: WorkerSpec) -> None:
+        self._spawn(spec)
 
     def depth(self, worker_id: int) -> Optional[int]:
         return queue_depth(self.inboxes[worker_id])
@@ -162,37 +285,75 @@ class _ThreadExecutor:
             thread.join(timeout=10.0)
 
 
-class _ProcessExecutor:
+class _ProcessExecutor(_LiveRecvMixin):
     """One OS process per worker over multiprocessing queues."""
 
     def __init__(self, specs: List[WorkerSpec], capacity: int) -> None:
         import multiprocessing
 
         methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
+        self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else methods[0]
         )
-        self.inboxes = [context.Queue(capacity) for _ in specs]
-        self.outboxes = [context.Queue() for _ in specs]
-        self.processes = [
-            context.Process(
-                target=_worker_loop,
-                args=(spec, inbox, outbox),
-                name=f"repro-serve-w{spec.worker_id}",
-                daemon=True,
-            )
-            for spec, inbox, outbox in zip(specs, self.inboxes, self.outboxes)
-        ]
-        for process in self.processes:
-            process.start()
+        self.capacity = capacity
+        count = len(specs)
+        self.inboxes = [None] * count
+        self.outboxes = [None] * count
+        self.processes = [None] * count
+        self.acked = [0] * count
+        for spec in specs:
+            self._spawn(spec)
+
+    def _spawn(self, spec: WorkerSpec) -> None:
+        worker_id = spec.worker_id
+        inbox = self._context.Queue(self.capacity)
+        outbox = self._context.Queue()
+        process = self._context.Process(
+            target=_worker_loop,
+            args=(spec, inbox, outbox),
+            name=f"repro-serve-w{worker_id}",
+            daemon=True,
+        )
+        self.inboxes[worker_id] = inbox
+        self.outboxes[worker_id] = outbox
+        self.processes[worker_id] = process
+        process.start()
 
     def send(
         self, worker_id: int, message: Tuple, policy: BackpressurePolicy
     ) -> PutOutcome:
         return put_with_policy(self.inboxes[worker_id], message, policy)
 
-    def recv(self, worker_id: int) -> Tuple:
-        return self.outboxes[worker_id].get()
+    def is_alive(self, worker_id: int) -> bool:
+        return self.processes[worker_id].is_alive()
+
+    def kill(self, worker_id: int) -> None:
+        self._reap(self.processes[worker_id])
+
+    @staticmethod
+    def _reap(process) -> None:
+        # SIGTERM first; escalate to SIGKILL because workers forked
+        # mid-run inherit whatever handler the host installed (the CLI
+        # swallows SIGTERM for graceful drains, for one).
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=2.0)
+
+    @staticmethod
+    def _discard_queue(mp_queue) -> None:
+        try:
+            mp_queue.close()
+            mp_queue.cancel_join_thread()
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+    def respawn(self, worker_id: int, spec: WorkerSpec) -> None:
+        self._discard_queue(self.inboxes[worker_id])
+        self._discard_queue(self.outboxes[worker_id])
+        self._spawn(spec)
 
     def depth(self, worker_id: int) -> Optional[int]:
         return queue_depth(self.inboxes[worker_id])
@@ -202,7 +363,11 @@ class _ProcessExecutor:
             process.join(timeout=10.0)
         for process in self.processes:
             if process.is_alive():
-                process.terminate()
+                self._reap(process)
+        # A dead child's queues can pin the parent's feeder threads at
+        # interpreter exit; detach them once nothing reads anymore.
+        for mp_queue in list(self.inboxes) + list(self.outboxes):
+            self._discard_queue(mp_queue)
 
 
 class DetectionService:
@@ -262,6 +427,20 @@ class DetectionService:
         :meth:`pump_backfill` / :meth:`drain_backfill` — the
         deterministic mode the CLI's serial driver and the kill/resume
         tests use.
+    supervise:
+        Wrap the executor in a :class:`ShardSupervisor`
+        (:mod:`repro.serve.supervisor`): dead, stalled or poisoned
+        workers are detected, respawned from rolling per-shard
+        snapshots and their unacked requests replayed, keeping the
+        merged match stream bit-for-bit intact; shards that exhaust
+        their restart budget are quarantined and the service degrades
+        gracefully. Thread/process backends only.
+    supervisor:
+        Optional :class:`SupervisorConfig` (implies ``supervise``).
+    chaos:
+        Optional :class:`~repro.serve.chaos.ChaosPlan` of scheduled
+        worker failures (testing/drills); events execute inside the
+        worker loops. Thread/process backends only.
     """
 
     def __init__(
@@ -281,11 +460,26 @@ class DetectionService:
         batch_chunks: int = 4,
         archive: Optional[SketchArchive] = None,
         backfill_async: bool = True,
+        supervise: bool = False,
+        supervisor: Optional["SupervisorConfig"] = None,
+        chaos: Optional[ChaosPlan] = None,
         _checkpoint: Optional[ServiceCheckpoint] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ServeError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if supervisor is not None:
+            supervise = True
+        if supervise and backend == "serial":
+            raise ServeError(
+                "supervision needs workers that can die independently; "
+                "the serial backend has none (use thread or process)"
+            )
+        if chaos is not None and chaos and backend == "serial":
+            raise ServeError(
+                "chaos injection targets thread/process workers; the "
+                "serial backend runs them in the service process"
             )
         self.config = config
         self.keyframes_per_second = float(keyframes_per_second)
@@ -407,6 +601,8 @@ class DetectionService:
             if _checkpoint is None
             else _checkpoint.worker_epochs()
         )
+        chaos_plan = chaos if chaos is not None else ChaosPlan()
+        chaos_plan.validate_workers(len(shard_queries))
         specs = [
             WorkerSpec(
                 worker_id=index,
@@ -417,6 +613,7 @@ class DetectionService:
                 timing_enabled=timing_enabled,
                 state=states[index],
                 epoch=worker_epochs[index],
+                chaos=chaos_plan.for_worker(index),
             )
             for index, shard in enumerate(shard_queries)
         ]
@@ -426,6 +623,15 @@ class DetectionService:
             self._executor = _ThreadExecutor(specs, queue_capacity)
         else:
             self._executor = _ProcessExecutor(specs, queue_capacity)
+        self._supervisor: Optional[ShardSupervisor] = None
+        if supervise:
+            self._supervisor = ShardSupervisor(
+                self._executor,
+                specs,
+                config=supervisor,
+                registry=self.registry,
+            )
+            self._executor = self._supervisor
         self.num_workers = len(specs)
         if (
             self.sketch_once
@@ -589,6 +795,9 @@ class DetectionService:
         batch_chunks: int = 4,
         archive: Optional[SketchArchive] = None,
         backfill_async: bool = True,
+        supervise: bool = False,
+        supervisor: Optional["SupervisorConfig"] = None,
+        chaos: Optional[ChaosPlan] = None,
     ) -> "DetectionService":
         """Rebuild a service from a checkpoint and continue mid-stream.
 
@@ -629,6 +838,9 @@ class DetectionService:
             batch_chunks=batch_chunks,
             archive=archive,
             backfill_async=backfill_async,
+            supervise=supervise,
+            supervisor=supervisor,
+            chaos=chaos,
             _checkpoint=checkpoint,
         )
 
@@ -819,7 +1031,7 @@ class DetectionService:
             for offset, matches in enumerate(match_lists):
                 results[worker_id][base_seq + offset] = matches
             if slot is not None:
-                self._ring.release(slot)
+                self._ring.release(slot, worker_id)
 
         def drain_oldest() -> None:
             # Free a ring slot by consuming the reply for the oldest
@@ -849,7 +1061,9 @@ class DetectionService:
             slot: Optional[int] = None
             if self._ring is not None:
                 descriptor = self._ring.publish(
-                    batch, refs=num_workers, wait_for_slot=drain_oldest
+                    batch,
+                    readers=range(num_workers),
+                    wait_for_slot=drain_oldest,
                 )
                 slot = descriptor.slot
                 message: Tuple = ("batch_shm", descriptor)
@@ -860,13 +1074,24 @@ class DetectionService:
                 message = ("batch", batch)
                 registry.inc("serve.transport.inline_bytes", batch.nbytes)
             for worker_id in range(num_workers):
-                outcome = self._executor.send(
-                    worker_id, message, self.policy
-                )
+                if self._supervisor is not None and slot is not None:
+                    # The supervisor's replay buffer must outlive the
+                    # ring slot, so it logs the inline batch instead of
+                    # the descriptor.
+                    outcome = self._supervisor.send(
+                        worker_id,
+                        message,
+                        self.policy,
+                        shadow=("batch", batch),
+                    )
+                else:
+                    outcome = self._executor.send(
+                        worker_id, message, self.policy
+                    )
                 if outcome.delivered:
                     outstanding[worker_id].append((base, slot))
                 elif slot is not None:
-                    self._ring.release(slot)
+                    self._ring.release(slot, worker_id)
                 stolen = self._account_batch(
                     worker_id, outcome, len(group)
                 )
@@ -875,7 +1100,7 @@ class DetectionService:
                         (stolen_seq, stolen_slot)
                     )
                     if stolen_slot is not None:
-                        self._ring.release(stolen_slot)
+                        self._ring.release(stolen_slot, worker_id)
             registry.inc("serve.chunks_ingested", len(group))
         for worker_id in range(num_workers):
             while outstanding[worker_id]:
@@ -1020,10 +1245,28 @@ class DetectionService:
             sum(weights[qid] for qid in qids) for qids in self._shard_qids
         ]
 
+    def degraded_shards(self) -> List[int]:
+        """Quarantined shard ids (empty without supervision)."""
+        if self._supervisor is None:
+            return []
+        return self._supervisor.quarantined_workers()
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one shard is quarantined — the merged
+        match stream is then missing that shard's contribution."""
+        return bool(self.degraded_shards())
+
     def list_queries(self) -> List[QueryInfo]:
-        """Every subscribed query with its placement, in qid order."""
+        """Every subscribed query with its placement, in qid order.
+
+        Queries on a quarantined shard are reported with status
+        ``"degraded"`` — still subscribed, but their shard stopped
+        contributing matches when its recovery budget ran out.
+        """
         self._require_open()
         progress = self.backfill_progress()
+        degraded = set(self.degraded_shards())
         return sorted(
             (
                 QueryInfo(
@@ -1035,6 +1278,9 @@ class DetectionService:
                     backfill_total=progress.get(qid, (0, 0, 0))[0],
                     backfill_done=progress.get(qid, (0, 0, 0))[1],
                     retro_matches=progress.get(qid, (0, 0, 0))[2],
+                    status=(
+                        "degraded" if worker_id in degraded else "active"
+                    ),
                 )
                 for worker_id, qids in enumerate(self._shard_qids)
                 for qid in qids
@@ -1078,7 +1324,15 @@ class DetectionService:
         cap = query.max_candidate_windows(
             self.window_frames, self.config.tempo_scale
         )
-        target = self._planner.place(self.shard_loads())
+        loads = self.shard_loads()
+        degraded = self.degraded_shards()
+        if degraded and len(degraded) < self.num_workers:
+            # Steer new queries away from quarantined shards — they
+            # would only ever be reported degraded there.
+            penalty = sum(loads) + max(loads) + 1
+            for worker_id in degraded:
+                loads[worker_id] += penalty
+        target = self._planner.place(loads)
         self._lifecycle(
             {target: (("subscribe", query),)},
             max(max(self._caps.values()), cap),
@@ -1226,6 +1480,13 @@ class DetectionService:
                 if self._ring is not None
                 else ("batch_inline" if self.sketch_once else "chunk")
             ),
+            "supervised": self._supervisor is not None,
+            "quarantined_shards": self.degraded_shards(),
+            "shm_outstanding_refs": (
+                self._ring.total_outstanding_refs()
+                if self._ring is not None
+                else 0
+            ),
         }
         if self._archive is not None:
             lo, hi = self._archive.available()
@@ -1281,6 +1542,17 @@ class DetectionService:
             )
         for worker_id in range(self.num_workers):
             states.append(self._expect(worker_id, "state")[2])
+            override = (
+                self._supervisor.shard_queries_override(worker_id)
+                if self._supervisor is not None
+                else None
+            )
+            if override is not None:
+                # A quarantined shard checkpoints its last good state,
+                # which covers the queries *as of that snapshot* — not
+                # whatever the control plane has since changed.
+                queries.append(override)
+                continue
             shard_qids = sorted(self._shard_qids[worker_id])
             queries.append(
                 QuerySet(
@@ -1348,8 +1620,40 @@ class DetectionService:
     # lifecycle
     # ------------------------------------------------------------------
 
+    def _send_stop(self, worker_id: int) -> None:
+        """Deliver ``stop`` without ever wedging on a corpse.
+
+        Supervised services route through the supervisor (which
+        synthesizes delivery for dead/quarantined shards); bare
+        thread/process executors get a bounded liveness-checked put so
+        a dead worker with a full inbox cannot hang shutdown.
+        """
+        executor = self._executor
+        if self._supervisor is not None or self.backend == "serial":
+            executor.send(worker_id, ("stop",), BackpressurePolicy.BLOCK)
+            return
+        deadline = time.perf_counter() + _CLOSE_TIMEOUT_SECONDS
+        while True:
+            outcome = executor.send(
+                worker_id, ("stop",), BackpressurePolicy.SHED
+            )
+            if outcome.delivered:
+                return
+            if not executor.is_alive(worker_id):
+                return
+            if time.perf_counter() >= deadline:
+                return
+            time.sleep(0.02)
+
     def close(self) -> None:
-        """Stop every worker and release executor resources."""
+        """Stop every worker and release executor resources.
+
+        Idempotent (a second close is a no-op) and dead-worker
+        tolerant: a crashed child is skipped instead of turning
+        shutdown into a deadlock or a traceback, and whatever
+        shared-memory references it pinned are swept before the ring
+        is unlinked.
+        """
         if self._closed:
             return
         self._closed = True
@@ -1362,22 +1666,29 @@ class DetectionService:
                 self._archive.seal_open_run()
             except Exception:
                 pass
+        if self._supervisor is not None:
+            self._supervisor.begin_shutdown()
         for worker_id in range(self.num_workers):
             try:
-                self._executor.send(
-                    worker_id, ("stop",), BackpressurePolicy.BLOCK
-                )
+                self._send_stop(worker_id)
             except Exception:
                 continue
         for worker_id in range(self.num_workers):
             try:
-                reply = self._executor.recv(worker_id)
+                reply = self._executor.recv(
+                    worker_id, timeout=_CLOSE_TIMEOUT_SECONDS
+                )
                 while reply[0] != "stopped":
-                    reply = self._executor.recv(worker_id)
+                    reply = self._executor.recv(
+                        worker_id, timeout=_CLOSE_TIMEOUT_SECONDS
+                    )
             except Exception:
                 continue
         self._executor.join()
         if self._ring is not None:
+            swept = self._ring.sweep_all()
+            if swept:
+                self.registry.inc("serve.transport.shm_swept", swept)
             self._ring.close()
 
     def __enter__(self) -> "DetectionService":

@@ -167,8 +167,12 @@ class _Slot:
         self.index = index
         self.shm = None
         self.capacity = 0
-        self.refs = 0
+        self.readers: set = set()
         self.generation = 0
+
+    @property
+    def refs(self) -> int:
+        return len(self.readers)
 
     def ensure(self, nbytes: int) -> None:
         if self.shm is not None and self.capacity >= nbytes:
@@ -224,14 +228,18 @@ class ShmBatchRing:
     def publish(
         self,
         batch: WindowBatch,
-        refs: int,
+        readers,
         wait_for_slot: Callable[[], None],
     ) -> BatchDescriptor:
-        """Write ``batch`` into a free slot; arm ``refs`` references.
+        """Write ``batch`` into a free slot; arm one reference per reader.
 
-        ``wait_for_slot`` is invoked (repeatedly if needed) while every
-        slot has outstanding references; it must release at least one
-        reference — the service drains one worker reply per call.
+        ``readers`` is the sequence of worker ids the batch will be
+        delivered to — references are held *by identity*, so a crashed
+        reader's pin can be swept (:meth:`sweep_reader`) instead of
+        leaking the slot forever. ``wait_for_slot`` is invoked
+        (repeatedly if needed) while every slot has outstanding
+        references; it must release at least one reference — the
+        service drains one worker reply per call.
         """
         if self._closed:
             raise ServeError("the shared-memory ring has been closed")
@@ -266,7 +274,7 @@ class ShmBatchRing:
                 (field_name, array.dtype.str, array.shape, offset)
             )
             offset += nbytes
-        slot.refs = int(refs)
+        slot.readers = set(int(reader) for reader in readers)
         return BatchDescriptor(
             slot=slot.index,
             name=slot.shm.name,
@@ -277,14 +285,59 @@ class ShmBatchRing:
             total_bytes=total,
         )
 
-    def release(self, slot_index: int) -> None:
-        """Drop one reference on a slot (reply drained / delivery lost)."""
+    def release(self, slot_index: int, reader: int) -> None:
+        """Drop ``reader``'s reference on a slot.
+
+        Idempotent per reader: releasing a reference the reader no
+        longer holds (already released, or force-swept after a crash)
+        is a no-op — a recovered worker's replayed reply must not blow
+        up the drain path. Releasing a slot nobody references at all is
+        still an error (protocol bug, not a crash artifact).
+        """
         slot = self._slots[slot_index]
-        if slot.refs <= 0:
+        if not slot.readers:
             raise ServeError(
                 f"slot {slot_index} released more times than referenced"
             )
-        slot.refs -= 1
+        slot.readers.discard(int(reader))
+
+    def sweep_reader(self, reader: int) -> int:
+        """Force-release every slot reference held by ``reader``.
+
+        Called when a worker is declared dead or quarantined: whatever
+        it was still mapping will never be acknowledged, and without
+        the sweep those slots stay pinned forever. Returns the number
+        of references released.
+        """
+        swept = 0
+        for slot in self._slots:
+            if int(reader) in slot.readers:
+                slot.readers.discard(int(reader))
+                swept += 1
+        return swept
+
+    def outstanding(self) -> Dict[int, Tuple[int, ...]]:
+        """Live references per slot — ``{slot: (reader, ...)}``.
+
+        Empty at any quiescent point (all batches drained); test
+        teardowns assert exactly that to catch leaked segments.
+        """
+        return {
+            slot.index: tuple(sorted(slot.readers))
+            for slot in self._slots
+            if slot.readers
+        }
+
+    def total_outstanding_refs(self) -> int:
+        return sum(len(slot.readers) for slot in self._slots)
+
+    def sweep_all(self) -> int:
+        """Force-release everything (shutdown path). Returns refs freed."""
+        swept = 0
+        for slot in self._slots:
+            swept += len(slot.readers)
+            slot.readers.clear()
+        return swept
 
     def close(self) -> None:
         """Unlink every slot. Call after the workers have stopped."""

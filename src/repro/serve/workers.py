@@ -117,6 +117,10 @@ class WorkerSpec:
     epoch:
         The lifecycle epoch this worker starts at (0 for a fresh
         service; the recorded per-shard epoch on checkpoint resume).
+    chaos:
+        Scheduled :class:`~repro.serve.chaos.ChaosEvent` failures this
+        worker executes against itself (testing only); positions are
+        1-based over this worker's *stream* messages.
     """
 
     worker_id: int
@@ -127,6 +131,7 @@ class WorkerSpec:
     timing_enabled: bool = True
     state: Optional[Dict[str, np.ndarray]] = None
     epoch: int = 0
+    chaos: Tuple = ()
 
 
 class ShardWorker:
@@ -320,15 +325,58 @@ class ShardWorker:
             self._shm_reader = None
 
 
+#: Request kinds that advance a worker's chaos position — the stream
+#: itself, never control traffic (so supervisor probes cannot shift a
+#: plan's firing points).
+_STREAM_KINDS = frozenset({"chunk", "batch", "batch_shm"})
+
+
+def _execute_chaos(worker: ShardWorker, event, outbox) -> bool:
+    """Run one scheduled failure inside the worker loop.
+
+    Returns True when the loop must abandon the current message (kill /
+    poison); a stall falls through to normal handling after sleeping.
+    """
+    import threading
+    import time
+
+    if event.kind == "stall":
+        time.sleep(event.stall_seconds)
+        return False
+    if event.kind == "poison":
+        outbox.put(("chaos-poison", worker.worker_id, event.at_seq))
+        return True
+    # kill: die the way a crash does — no reply, no cleanup handshake.
+    if threading.current_thread() is threading.main_thread():
+        # Process backend: the loop owns the child's main thread.
+        import os
+
+        os._exit(1)
+    return True
+
+
 def _worker_loop(spec: WorkerSpec, inbox, outbox) -> None:
     """Request/reply loop shared by the thread and process backends.
 
     Runs until a ``stop`` request; its reply is sent before returning so
-    the parent can join deterministically.
+    the parent can join deterministically. When the spec carries chaos
+    events, each stream message is checked against the schedule before
+    handling — a ``kill`` abandons the loop without replying (process
+    workers hard-exit), a ``poison`` substitutes a malformed reply, a
+    ``stall`` sleeps first.
     """
     worker = ShardWorker(spec)
+    chaos = {event.at_seq: event for event in (spec.chaos or ())}
+    stream_seen = 0
     while True:
         message = inbox.get()
+        if chaos and message[0] in _STREAM_KINDS:
+            stream_seen += 1
+            event = chaos.pop(stream_seen, None)
+            if event is not None and _execute_chaos(worker, event, outbox):
+                if event.kind == "kill":
+                    return
+                continue
         reply = worker.handle(message)
         outbox.put(reply)
         if reply[0] == "stopped":

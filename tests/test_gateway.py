@@ -23,7 +23,7 @@ from repro.gateway import (
     WatchClient,
 )
 from repro.minhash.family import MinHashFamily
-from repro.serve import DetectionService
+from repro.serve import ChaosPlan, DetectionService, SupervisorConfig
 from repro.serve.queues import BackpressurePolicy, BoundedChannel
 
 CELL_SPACE = 500
@@ -57,12 +57,12 @@ def _workload():
     return qcells, frames, chunks
 
 
-def make_service(backend: str = "thread") -> DetectionService:
+def make_service(backend: str = "thread", **extra) -> DetectionService:
     qcells, frames, _ = _workload()
     family = MinHashFamily(num_hashes=NUM_HASHES, seed=5)
     queries = QuerySet.from_cell_ids(qcells, frames, family)
     return DetectionService(
-        _config(), queries, KPS, num_workers=2, backend=backend
+        _config(), queries, KPS, num_workers=2, backend=backend, **extra
     )
 
 
@@ -397,3 +397,104 @@ def test_graceful_drain_sends_goaway_and_leaks_nothing():
             break
         time.sleep(0.05)
     assert not leaked, f"threads leaked across shutdown: {leaked}"
+
+
+def test_shard_restart_starves_credits_and_keeps_parity():
+    """A mid-stream worker kill under supervision is invisible on the
+    wire: the ingest session only ever sees flow control (credit
+    starvation while the shard restarts and its batches replay), never
+    a ``chunk_error``, and the final stream is bit-for-bit the
+    undisturbed reference."""
+    reference, _ = _reference_run("thread")
+    assert reference, "workload must produce matches to be a real test"
+
+    _, _, chunks = _workload()
+    service = make_service(
+        supervise=True,
+        chaos=ChaosPlan.parse("kill:0@3"),
+        supervisor=SupervisorConfig(recv_deadline=1.0),
+    )
+    server = GatewayServer(service, credits=1)
+    handle = server.run_in_thread()
+    try:
+        watcher = WatchClient("127.0.0.1", handle.port, credits=1 << 16)
+        client = IngestClient("127.0.0.1", handle.port)
+        for seq, chunk in enumerate(chunks):
+            client.push(seq, chunk)
+        total = client.end()
+
+        # The crash surfaced as backpressure, not as an error.
+        assert sorted(client.acked) == list(range(len(chunks)))
+        assert client.dropped == []
+        assert server.registry.counter("gateway.errors") == 0
+        assert server.registry.counter("gateway.credit_stalls") >= 1
+        assert service.registry.counter("serve.supervisor.restarts") >= 1
+
+        # Watchers see every post-recovery match exactly once.
+        watched = [_match_tuple(event) for event in watcher.matches()]
+        assert watched == reference
+        assert total == len(reference)
+        watcher.close()
+        client.close()
+    finally:
+        handle.stop(drain=False, flush=False)
+        service.close()
+
+
+def test_quarantined_shard_degrades_queries_not_the_stream():
+    """When the restart budget is exhausted the shard is quarantined:
+    its queries report ``degraded`` over admin (flagged, not dropped),
+    the ended reply is marked partial, and the surviving shard's
+    matches are bit-for-bit the reference's."""
+    reference, _ = _reference_run("thread")
+    _, _, chunks = _workload()
+    service = make_service(
+        supervise=True,
+        chaos=ChaosPlan.parse("kill:0@3"),
+        supervisor=SupervisorConfig(recv_deadline=1.0, max_restarts=0),
+    )
+    server = GatewayServer(service, credits=4)
+    handle = server.run_in_thread()
+    try:
+        watcher = WatchClient("127.0.0.1", handle.port, credits=1 << 16)
+        admin = AdminClient("127.0.0.1", handle.port)
+        client = IngestClient("127.0.0.1", handle.port)
+        for seq, chunk in enumerate(chunks):
+            client.push(seq, chunk)
+        total = client.end()
+
+        assert service.registry.counter(
+            "serve.supervisor.quarantines"
+        ) == 1
+        degraded = service.degraded_shards()
+        assert degraded, "the kill should have exhausted the budget"
+        status = {
+            entry["qid"]: entry["status"]
+            for entry in admin.list_queries()
+        }
+        degraded_qids = {
+            qid for qid, state in status.items() if state == "degraded"
+        }
+        assert degraded_qids == {
+            qid for qid in status
+            if service.shard_of(qid) in degraded
+        }
+        assert degraded_qids and degraded_qids != set(status)
+        assert service.partial
+
+        # The quarantined shard stops contributing after its last
+        # consumed reply (stream message 3 = basic window 4 on this
+        # workload); the surviving shard is untouched.
+        expected = [
+            m for m in reference
+            if m[0] not in degraded_qids or m[1] < 4
+        ]
+        watched = [_match_tuple(event) for event in watcher.matches()]
+        assert watched == expected
+        assert total == len(expected)
+        watcher.close()
+        admin.close()
+        client.close()
+    finally:
+        handle.stop(drain=False, flush=False)
+        service.close()

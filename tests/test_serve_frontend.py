@@ -321,13 +321,15 @@ def test_ring_roundtrip_and_release():
     reader = ShmBatchReader()
     try:
         batch = _batch()
-        descriptor = ring.publish(batch, refs=2, wait_for_slot=lambda: None)
+        descriptor = ring.publish(
+            batch, readers=[0, 1], wait_for_slot=lambda: None
+        )
         assert descriptor.total_bytes == batch.nbytes
         _assert_batches_equal(reader.read(descriptor), batch)
-        ring.release(descriptor.slot)
-        ring.release(descriptor.slot)
+        ring.release(descriptor.slot, 0)
+        ring.release(descriptor.slot, 1)
         with pytest.raises(ServeError):
-            ring.release(descriptor.slot)
+            ring.release(descriptor.slot, 0)
     finally:
         reader.close()
         ring.close()
@@ -338,17 +340,17 @@ def test_ring_exhaustion_calls_wait_hook():
     ring = ShmBatchRing(1)
     try:
         batch = _batch()
-        first = ring.publish(batch, refs=1, wait_for_slot=lambda: None)
+        first = ring.publish(batch, readers=[0], wait_for_slot=lambda: None)
         waits = []
 
         def drain():
             waits.append(first.slot)
-            ring.release(first.slot)
+            ring.release(first.slot, 0)
 
-        second = ring.publish(batch, refs=1, wait_for_slot=drain)
+        second = ring.publish(batch, readers=[0], wait_for_slot=drain)
         assert waits == [first.slot]
         assert second.slot == first.slot
-        ring.release(second.slot)
+        ring.release(second.slot, 0)
     finally:
         ring.close()
 
@@ -359,11 +361,11 @@ def test_slot_growth_changes_name_and_reader_reattaches():
     reader = ShmBatchReader()
     try:
         small = _batch(num_chunks=1)
-        descriptor = ring.publish(small, refs=0, wait_for_slot=lambda: None)
+        descriptor = ring.publish(small, readers=[], wait_for_slot=lambda: None)
         _assert_batches_equal(reader.read(descriptor), small)
         big = _batch(num_chunks=6, seed=13)
         assert big.nbytes > small.nbytes
-        grown = ring.publish(big, refs=0, wait_for_slot=lambda: None)
+        grown = ring.publish(big, readers=[], wait_for_slot=lambda: None)
         assert grown.slot == descriptor.slot
         assert grown.name != descriptor.name  # fresh segment, no aliasing
         _assert_batches_equal(reader.read(grown), big)
